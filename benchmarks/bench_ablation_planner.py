@@ -1,0 +1,69 @@
+"""Ablation — what each planning ingredient contributes.
+
+Compares, per network: the two single-layout worlds, the (Ct, Nt)
+heuristic with fine-tuning, the DP-optimal plan, the DP plan without FFT
+implementations, and the unreachable zero-transform-cost lower bound.
+"""
+
+from __future__ import annotations
+
+from figutil import FigureTable
+
+from repro.core import plan_optimal, plan_single_layout, plan_with_heuristic
+from repro.framework import Net
+from repro.networks import build_network
+from repro.tensors import CHWN, NCHW
+
+NETWORKS = ("lenet", "cifar", "alexnet", "zfnet", "vgg")
+
+
+def _lower_bound_ms(device, nodes) -> float:
+    """Every layer in its best layout with transforms priced at zero."""
+    from repro.core.planner import PLAN_LAYOUTS, _build_costs
+
+    costs = _build_costs(device, nodes, tune_pooling=True, allow_fft=True)
+    return sum(min(c.cost(lo) for lo in PLAN_LAYOUTS) for c in costs)
+
+
+def build_figure(device) -> FigureTable:
+    table = FigureTable(
+        "Ablation: planner variants, total network time (ms)",
+        ["network", "all_chwn", "all_nchw", "heuristic", "optimal", "no_fft", "free_t"],
+    )
+    for name in NETWORKS:
+        nodes = Net(build_network(name)).planner_nodes(device)
+        table.add(
+            name,
+            plan_single_layout(device, nodes, CHWN, tune_pooling=True).total_ms,
+            plan_single_layout(device, nodes, NCHW, tune_pooling=True).total_ms,
+            plan_with_heuristic(device, nodes).total_ms,
+            plan_optimal(device, nodes).total_ms,
+            plan_optimal(device, nodes, allow_fft=False).total_ms,
+            _lower_bound_ms(device, nodes),
+        )
+    table.note("free_t = zero-cost-transform lower bound (unreachable)")
+    return table
+
+
+def test_ablation_planner(benchmark, device):
+    table = benchmark(build_figure, device)
+    for row in table.rows:
+        name, chwn, nchw, heuristic, optimal, no_fft, free = row
+        # Order constraints the planner must satisfy everywhere.
+        assert optimal <= min(chwn, nchw) + 1e-9, name
+        assert optimal <= heuristic + 1e-9, name
+        assert optimal <= no_fft + 1e-9, name
+        assert free <= optimal + 1e-9, name
+        # Transform costs are real but not dominant: the plan lands within
+        # 25% of the free-transform bound.
+        assert optimal <= free * 1.25, name
+    # FFT availability matters for at least one network (AlexNet-class).
+    assert any(row[5] > row[4] * 1.05 for row in table.rows)
+    # The heuristic is a good approximation of the DP plan.
+    assert all(row[3] <= row[4] * 1.6 for row in table.rows)
+
+
+if __name__ == "__main__":
+    from repro.gpusim import TITAN_BLACK
+
+    build_figure(TITAN_BLACK).show()

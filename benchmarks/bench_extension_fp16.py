@@ -1,0 +1,55 @@
+"""Extension — FP16 on Pascal (paper Section VII's closing prediction).
+
+"The latest NVIDIA Pascal architecture ... begins to support FP16 (e.g.,
+NVIDIA Tesla P100) ... Nevertheless, the underlying impact from data
+layout remains."  The harness re-runs the Fig. 3 layout duel on a Tesla
+P100 in FP32 and FP16 and reports the winners and gaps.
+"""
+
+from __future__ import annotations
+
+from figutil import FigureTable
+
+from repro.extensions import TESLA_P100, compare_layouts_fp16, memory_bound_share
+from repro.networks import CONV_LAYERS
+
+
+def build_figure(device=TESLA_P100) -> FigureTable:
+    table = FigureTable(
+        f"FP16 extension on {device.name}: layout winners and gaps",
+        ["layer", "fp32_win", "fp32_gap", "fp16_win", "fp16_gap", "fp16_speedup"],
+    )
+    for row in compare_layouts_fp16(device):
+        table.add(
+            row.layer, row.fp32_winner, row.fp32_ratio, row.fp16_winner,
+            row.fp16_ratio, row.fp16_speedup_preferred,
+        )
+    shares = [
+        (
+            name,
+            memory_bound_share(device, CONV_LAYERS[name], "im2col"),
+            memory_bound_share(
+                device, CONV_LAYERS[name], "im2col", fp16=True, math_only=True
+            ),
+        )
+        for name in ("CV7", "CV12")
+    ]
+    for name, s32, s16 in shares:
+        table.note(
+            f"{name} memory share: {s32:.0%} (fp32) -> {s16:.0%} "
+            "(fp16 math over fp32 storage)"
+        )
+    return table
+
+
+def test_extension_fp16(benchmark):
+    table = benchmark(build_figure)
+    for row in table.rows:
+        _, w32, gap32, w16, gap16, speedup = row
+        assert w16 == w32  # 'the underlying impact from data layout remains'
+        assert gap16 > 1.0
+        assert 1.2 < speedup < 2.3  # FP16 buys up to ~2x
+
+
+if __name__ == "__main__":
+    build_figure().show()

@@ -1,0 +1,54 @@
+"""Fig. 14 — whole-network comparison: six schemes on five networks.
+
+Paper: no single library wins everywhere (cuda-convnet takes LeNet/Cifar,
+cuDNN takes AlexNet/ZFNet/VGG) while Opt is fastest on all five; LeNet Opt
+is 5.61x over cuDNN-MM, AlexNet Opt is 2.02x over cuDNN-MM and ~1.16x over
+cuDNN-Best.
+"""
+
+from __future__ import annotations
+
+from figutil import FigureTable
+
+from repro.baselines import SCHEMES, compare_schemes
+from repro.framework import Net
+from repro.networks import NETWORK_BUILDERS, build_network
+
+NETWORKS = tuple(NETWORK_BUILDERS)
+
+
+def build_figure(device) -> FigureTable:
+    table = FigureTable(
+        "Fig. 14: whole-network speedup normalized to cuDNN-MM",
+        ["network", *SCHEMES],
+    )
+    for name in NETWORKS:
+        net = Net(build_network(name))
+        results = compare_schemes(net, device)
+        base = results["cudnn-mm"].total_ms
+        table.add(name, *(base / results[s].total_ms for s in SCHEMES))
+    table.note("paper: LeNet Opt 5.61x, AlexNet Opt 2.02x over cuDNN-MM")
+    return table
+
+
+def test_fig14(benchmark, device):
+    table = benchmark(build_figure, device)
+    rows = {r[0]: dict(zip(table.columns[1:], r[1:])) for r in table.rows}
+    # Opt is fastest on every network.
+    for name, row in rows.items():
+        assert row["opt"] >= max(v for k, v in row.items() if k != "opt") * 0.999, name
+    # Small networks: cuda-convnet >> cuDNN-best.
+    for name in ("lenet", "cifar"):
+        assert rows[name]["cuda-convnet"] > rows[name]["cudnn-best"]
+    # Large networks: cuDNN-best >> cuda-convnet.
+    for name in ("zfnet", "vgg"):
+        assert rows[name]["cudnn-best"] > rows[name]["cuda-convnet"]
+    # Magnitudes.
+    assert 2.5 < rows["lenet"]["opt"] < 8  # paper 5.61x
+    assert 1.4 < rows["alexnet"]["opt"] < 3.0  # paper 2.02x
+
+
+if __name__ == "__main__":
+    from repro.gpusim import TITAN_BLACK
+
+    build_figure(TITAN_BLACK).show()

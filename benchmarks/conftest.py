@@ -1,0 +1,20 @@
+"""Benchmark fixtures: make ``benchmarks`` importable and share the device."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.gpusim import TITAN_BLACK, TITAN_X  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def device():
+    return TITAN_BLACK
+
+
+@pytest.fixture(scope="session")
+def titan_x():
+    return TITAN_X

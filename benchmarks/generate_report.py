@@ -1,0 +1,99 @@
+"""Regenerate every figure/table into a single report.
+
+Usage::
+
+    python benchmarks/generate_report.py [output.md]
+
+Writes (or prints) all reproduced series — the paper's Figs. 1–15, the
+Table-1 sweep, calibration, the Titan X check, and the extension studies —
+as one document.  This is the artifact to diff when the model changes.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+import time
+from contextlib import redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.gpusim import TITAN_BLACK, TITAN_X  # noqa: E402
+
+
+def collect() -> str:
+    import bench_ablation_coarsening
+    import bench_ablation_planner
+    import bench_ablation_transform
+    import bench_calibration
+    import bench_convnet_suite
+    import bench_devices
+    import bench_extension_fp16
+    import bench_extension_winograd
+    import bench_fig01_alexnet_layouts
+    import bench_fig03_conv_layouts
+    import bench_fig04_sensitivity
+    import bench_fig05_fft
+    import bench_fig06_pooling_layouts
+    import bench_fig10_layout_speedup
+    import bench_fig11_transform
+    import bench_fig12_pooling_opt
+    import bench_fig13_softmax
+    import bench_fig14_networks
+    import bench_fig15_alexnet_layers
+    import bench_roofline
+    import bench_table1_layers
+    import bench_titanx_trends
+    import bench_training_networks
+
+    single_device = [
+        bench_fig01_alexnet_layouts,
+        bench_fig03_conv_layouts,
+        bench_fig05_fft,
+        bench_fig06_pooling_layouts,
+        bench_fig10_layout_speedup,
+        bench_fig11_transform,
+        bench_fig12_pooling_opt,
+        bench_fig13_softmax,
+        bench_fig14_networks,
+        bench_fig15_alexnet_layers,
+        bench_table1_layers,
+        bench_training_networks,
+        bench_convnet_suite,
+        bench_roofline,
+        bench_ablation_transform,
+        bench_ablation_coarsening,
+        bench_ablation_planner,
+    ]
+
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        print("# Reproduced figures and tables")
+        print(f"\n_generated {time.strftime('%Y-%m-%d %H:%M:%S')}_\n")
+        print("```")
+        for mod in single_device:
+            mod.build_figure(TITAN_BLACK).show()
+        for table in bench_fig04_sensitivity.build_figure(TITAN_BLACK):
+            table.show()
+        bench_titanx_trends.build_figure(TITAN_X).show()
+        bench_calibration.build_figure([TITAN_BLACK, TITAN_X]).show()
+        bench_extension_winograd.build_figure(TITAN_BLACK).show()
+        bench_extension_fp16.build_figure().show()
+        bench_devices.build_figure().show()
+        print("```")
+    return buf.getvalue()
+
+
+def main(argv: list[str]) -> int:
+    report = collect()
+    if len(argv) > 1:
+        Path(argv[1]).write_text(report)
+        print(f"wrote {len(report.splitlines())} lines to {argv[1]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

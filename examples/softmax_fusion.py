@@ -1,0 +1,56 @@
+"""Softmax kernel fusion demo (paper Section V.B / Fig. 13).
+
+Shows the two-stage optimization on the classifier layer — kernel fusion
+(five launches and eight DRAM passes collapse into one kernel) and inner
+reduction-loop parallelization — plus the numeric equivalence of the fused
+algorithm.
+
+Run with ``python examples/softmax_fusion.py``.
+"""
+
+import numpy as np
+
+from repro import TITAN_BLACK
+from repro.core import fusion_report
+from repro.layers import SoftmaxSpec, softmax_five_step, softmax_fused
+from repro.networks import FIG13_SOFTMAX
+
+
+def main() -> None:
+    device = TITAN_BLACK
+
+    print(f"== Fusing the five-step softmax on {device.name} ==")
+    print(
+        f"{'config':>10s} {'baseline':>10s} {'fused':>9s} {'opt':>9s} "
+        f"{'fusion':>7s} {'threads':>8s} {'total':>7s}"
+    )
+    for name, spec in FIG13_SOFTMAX.items():
+        rep = fusion_report(spec, device)
+        print(
+            f"{name:>10s} {rep.baseline_ms:9.4f}ms {rep.fused_ms:8.4f}ms "
+            f"{rep.parallel_ms:8.4f}ms {rep.fusion_speedup:6.2f}x "
+            f"{rep.parallel_speedup:7.2f}x {rep.total_speedup:6.1f}x"
+        )
+    print(
+        "\npaper: fusion contributes up to 3.53x (avg 2.81x GM); injected "
+        "threads add an average 5.13x more"
+    )
+
+    print("\n== What fusion removes ==")
+    rep = fusion_report(SoftmaxSpec(128, 1000), device)
+    print(f"  kernel launches removed : {rep.launches_removed}")
+    print(f"  DRAM matrix passes removed: {rep.dram_passes_removed}")
+    print("  (intermediates live in shared memory / registers instead)")
+
+    print("\n== Numeric equivalence of the fused algorithm ==")
+    spec = SoftmaxSpec(64, 1000)
+    rng = np.random.default_rng(0)
+    x = (rng.standard_normal((spec.n, spec.categories)) * 10).astype(np.float32)
+    five = softmax_five_step(x, spec)
+    fused = softmax_fused(x, spec)
+    print(f"  max |five-step - fused| = {np.abs(five.out - fused).max():.2e}")
+    print(f"  rows sum to 1 within     {np.abs(fused.sum(1) - 1).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

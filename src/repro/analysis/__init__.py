@@ -1,0 +1,23 @@
+"""Sensitivity analysis: generalize the paper's Fig. 4 sweeps to any
+dimension and locate implementation crossovers."""
+
+from .attribution import GainAttribution, attribute_gains
+from .sweeps import (
+    SweepPoint,
+    SweepResult,
+    crossovers,
+    sweep_conv,
+    sweep_pool,
+    sweep_softmax,
+)
+
+__all__ = [
+    "GainAttribution",
+    "attribute_gains",
+    "SweepPoint",
+    "SweepResult",
+    "crossovers",
+    "sweep_conv",
+    "sweep_pool",
+    "sweep_softmax",
+]

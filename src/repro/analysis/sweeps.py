@@ -1,0 +1,155 @@
+"""Sensitivity-analysis toolkit: sweep any layer dimension, any metric.
+
+The paper's Fig. 4 is one instance of a general method — fix a layer shape,
+vary one dimension, watch the implementations trade places.  This module
+makes that method a first-class tool: :func:`sweep_conv` /
+:func:`sweep_pool` / :func:`sweep_softmax` produce tidy result grids for
+any dimension, and :func:`crossovers` locates where the winner changes
+(the raw material for thresholds like Ct and Nt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.engine import GpuOutOfMemoryError, SimulationEngine
+from ..layers.base import ConvSpec, PoolSpec, SoftmaxSpec
+from ..layers.conv_kernels import ConvUnsupportedError, make_conv_kernel
+from ..layers.pooling_kernels import make_pool_kernel
+from ..layers.softmax_kernels import make_softmax_kernel
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (dimension value, implementation) measurement."""
+
+    value: int
+    implementation: str
+    time_ms: float | None  # None when the implementation cannot run
+    gflops: float | None
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full sweep grid."""
+
+    dimension: str
+    values: tuple[int, ...]
+    implementations: tuple[str, ...]
+    points: tuple[SweepPoint, ...]
+
+    def time(self, value: int, implementation: str) -> float | None:
+        for p in self.points:
+            if p.value == value and p.implementation == implementation:
+                return p.time_ms
+        raise KeyError((value, implementation))
+
+    def winner(self, value: int) -> str:
+        """Fastest runnable implementation at one sweep value."""
+        candidates = [
+            p for p in self.points if p.value == value and p.time_ms is not None
+        ]
+        if not candidates:
+            raise ValueError(f"no implementation could run at {value}")
+        return min(candidates, key=lambda p: p.time_ms).implementation
+
+    def winners(self) -> list[tuple[int, str]]:
+        return [(v, self.winner(v)) for v in self.values]
+
+
+def crossovers(result: SweepResult) -> list[tuple[int, str, str]]:
+    """(value, old winner, new winner) at every change of the fastest
+    implementation along the sweep."""
+    out: list[tuple[int, str, str]] = []
+    winners = result.winners()
+    for (_, prev), (value, cur) in zip(winners, winners[1:]):
+        if cur != prev:
+            out.append((value, prev, cur))
+    return out
+
+
+def _run_grid(
+    engine: SimulationEngine,
+    dimension: str,
+    values: tuple[int, ...],
+    implementations: tuple[str, ...],
+    kernel_of: Callable[[int, str], object],
+) -> SweepResult:
+    points: list[SweepPoint] = []
+    for value in values:
+        for impl in implementations:
+            try:
+                stats = engine.run(kernel_of(value, impl))
+                points.append(
+                    SweepPoint(value, impl, stats.time_ms, stats.achieved_gflops)
+                )
+            except (ConvUnsupportedError, GpuOutOfMemoryError, ValueError):
+                points.append(SweepPoint(value, impl, None, None))
+    return SweepResult(
+        dimension=dimension,
+        values=tuple(values),
+        implementations=tuple(implementations),
+        points=tuple(points),
+    )
+
+
+def sweep_conv(
+    device: DeviceSpec,
+    base: ConvSpec,
+    dimension: str,
+    values: tuple[int, ...],
+    implementations: tuple[str, ...] = ("direct", "im2col"),
+) -> SweepResult:
+    """Vary one :class:`ConvSpec` field (``n``, ``ci``, ``co``, ``h``...)."""
+    if not hasattr(base, dimension):
+        raise ValueError(f"ConvSpec has no dimension {dimension!r}")
+    engine = SimulationEngine(device, check_memory=True)
+
+    def kernel_of(value: int, impl: str):
+        spec = replace(base, **{dimension: value})
+        if dimension == "h":
+            spec = replace(spec, w=value)
+        return make_conv_kernel(spec, impl)
+
+    return _run_grid(engine, dimension, tuple(values), tuple(implementations), kernel_of)
+
+
+def sweep_pool(
+    device: DeviceSpec,
+    base: PoolSpec,
+    dimension: str,
+    values: tuple[int, ...],
+    implementations: tuple[str, ...] = ("chwn", "nchw-linear"),
+) -> SweepResult:
+    """Vary one :class:`PoolSpec` field."""
+    if not hasattr(base, dimension):
+        raise ValueError(f"PoolSpec has no dimension {dimension!r}")
+    engine = SimulationEngine(device, check_memory=False)
+
+    def kernel_of(value: int, impl: str):
+        spec = replace(base, **{dimension: value})
+        if dimension == "h":
+            spec = replace(spec, w=value)
+        return make_pool_kernel(spec, impl)
+
+    return _run_grid(engine, dimension, tuple(values), tuple(implementations), kernel_of)
+
+
+def sweep_softmax(
+    device: DeviceSpec,
+    base: SoftmaxSpec,
+    dimension: str,
+    values: tuple[int, ...],
+    implementations: tuple[str, ...] = ("cudnn", "opt"),
+) -> SweepResult:
+    """Vary ``n`` or ``categories`` of a softmax layer."""
+    if not hasattr(base, dimension):
+        raise ValueError(f"SoftmaxSpec has no dimension {dimension!r}")
+    engine = SimulationEngine(device, check_memory=False)
+
+    def kernel_of(value: int, impl: str):
+        return make_softmax_kernel(replace(base, **{dimension: value}), impl)
+
+    return _run_grid(engine, dimension, tuple(values), tuple(implementations), kernel_of)

@@ -1,0 +1,18 @@
+"""Execution models of the baseline libraries (cuda-convnet, Caffe, cuDNN)
+and the paper's optimized framework, as whole-network schemes."""
+
+from .schemes import (
+    LayerTiming,
+    NetworkTiming,
+    SCHEMES,
+    compare_schemes,
+    time_network,
+)
+
+__all__ = [
+    "LayerTiming",
+    "NetworkTiming",
+    "SCHEMES",
+    "compare_schemes",
+    "time_network",
+]

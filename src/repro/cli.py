@@ -1,0 +1,340 @@
+"""Command-line interface:
+``repro {info,calibrate,plan,bench,inspect,footprint,transform}``.
+
+Examples::
+
+    repro info
+    repro calibrate --device titan-x
+    repro plan --network alexnet --device titan-black
+    repro bench --network lenet
+    repro bench --layers conv
+    repro inspect --layer CV7 --verbose
+    repro footprint --network vgg --training
+    repro transform --n 64 --c 96 --hw 55
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .baselines import SCHEMES, compare_schemes
+from .core import calibrate, plan_optimal, plan_with_heuristic
+from .framework import Net
+from .gpusim import (
+    SimulationEngine,
+    comparison_table,
+    get_device,
+    kernel_report,
+    list_devices,
+)
+from .layers import make_conv_kernel, make_pool_kernel, make_softmax_kernel
+from .layers.conv_kernels import ConvUnsupportedError
+from .gpusim.engine import GpuOutOfMemoryError
+from .networks import (
+    CONV_LAYERS,
+    FIG13_SOFTMAX,
+    NETWORK_BUILDERS,
+    POOL_LAYERS,
+    build_network,
+)
+from .tensors import CHWN, NCHW, TensorDesc, transform_stats
+
+
+def _add_device(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--device",
+        default="titan-black",
+        help=f"device spec to simulate ({', '.join(list_devices())})",
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    for name in list_devices():
+        dev = get_device(name)
+        print(
+            f"{name:12s} {dev.name}: {dev.sm_count} SMs, "
+            f"{dev.peak_gflops:.0f} GFLOPS, {dev.mem_bandwidth_gbs:.0f} GB/s, "
+            f"{dev.dram_gib:.0f} GiB"
+        )
+    print(f"\nnetworks: {', '.join(NETWORK_BUILDERS)}")
+    print(f"schemes:  {', '.join(SCHEMES)}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    result = calibrate(device)
+    print(result.summary())
+    print("\nN sweep (CONV7 shape):")
+    for p in result.n_sweep:
+        winner = "CHWN" if p.chwn_wins else "NCHW"
+        print(f"  N={p.value:4d}  chwn={p.chwn_ms:8.3f} ms  nchw={p.nchw_ms:8.3f} ms  -> {winner}")
+    print("C sweep:")
+    for p in result.c_sweep:
+        winner = "CHWN" if p.chwn_wins else "NCHW"
+        print(f"  C={p.value:4d}  chwn={p.chwn_ms:8.3f} ms  nchw={p.nchw_ms:8.3f} ms  -> {winner}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    net = Net(build_network(args.network, batch=args.batch))
+    nodes = net.planner_nodes(device)
+    planner = plan_with_heuristic if args.strategy == "heuristic" else plan_optimal
+    plan = planner(device, nodes)
+    print(plan.summary())
+    print(
+        f"\ntransforms: {plan.transform_count} "
+        f"({plan.transform_ms:.3f} ms of {plan.total_ms:.3f} ms total)"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    if args.layers:
+        return _bench_layers(device, args.layers)
+    names = [args.network] if args.network else list(NETWORK_BUILDERS)
+    for name in names:
+        net = Net(build_network(name))
+        results = compare_schemes(net, device)
+        base = results["cudnn-mm"].total_ms
+        print(f"\n{name} (times in ms; speedup vs cuDNN-MM):")
+        for scheme in SCHEMES:
+            r = results[scheme]
+            print(f"  {scheme:14s} {r.total_ms:10.3f}  {base / r.total_ms:5.2f}x")
+    return 0
+
+
+def _bench_layers(device, which: str) -> int:
+    engine = SimulationEngine(device, check_memory=True)
+    if which == "conv":
+        print("layer  impl         time(ms)   GFLOPS")
+        for name, spec in CONV_LAYERS.items():
+            for impl in ("direct", "im2col", "fft", "fft-tiled"):
+                try:
+                    s = engine.run(make_conv_kernel(spec, impl))
+                    print(f"{name:5s}  {impl:11s} {s.time_ms:9.3f} {s.achieved_gflops:8.0f}")
+                except (ConvUnsupportedError, GpuOutOfMemoryError) as exc:
+                    print(f"{name:5s}  {impl:11s}      FAIL  ({exc})")
+    elif which == "pool":
+        print("layer  impl             time(ms)  eff-GB/s")
+        for name, spec in POOL_LAYERS.items():
+            useful = spec.in_desc().nbytes + spec.out_desc().nbytes
+            for impl in ("chwn", "chwn-coarsened", "nchw-linear", "nchw-rowblock"):
+                s = engine.run(make_pool_kernel(spec, impl))
+                print(
+                    f"{name:5s}  {impl:15s} {s.time_ms:9.3f} "
+                    f"{useful / (s.time_ms * 1e6):9.1f}"
+                )
+    elif which == "softmax":
+        print("config     impl      time(ms)  eff-GB/s")
+        for name, spec in FIG13_SOFTMAX.items():
+            for impl in ("5kernel", "cudnn", "fused", "opt"):
+                s = engine.run(make_softmax_kernel(spec, impl))
+                bw = 2 * spec.nbytes / (s.time_ms * 1e6)
+                print(f"{name:9s}  {impl:8s} {s.time_ms:9.4f} {bw:9.1f}")
+    else:
+        print(f"unknown layer group {which!r}; choose conv, pool, or softmax", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_attribute(args: argparse.Namespace) -> int:
+    from .analysis import attribute_gains
+
+    device = get_device(args.device)
+    net = Net(build_network(args.network, batch=args.batch))
+    a = attribute_gains(net, device, baseline=args.baseline)
+    print(f"{net.name} on {device.name} (baseline: {args.baseline})")
+    print(f"  baseline            : {a.baseline_ms:10.3f} ms")
+    print(f"  + flexible layouts  : {a.layout_only_ms:10.3f} ms")
+    print(f"  + off-chip opts     : {a.full_opt_ms:10.3f} ms")
+    print(
+        f"  attribution         : layout {a.layout_share:.0%}, "
+        f"off-chip {a.offchip_share:.0%} "
+        "(paper Section VI.C: 72% / 28%)"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis import crossovers, sweep_conv
+
+    device = get_device(args.device)
+    name = args.layer.upper()
+    if name not in CONV_LAYERS:
+        print(f"unknown conv layer {args.layer!r}", file=sys.stderr)
+        return 2
+    values = tuple(int(v) for v in args.values.split(","))
+    impls = tuple(args.impls.split(","))
+    result = sweep_conv(device, CONV_LAYERS[name], args.dim, values, impls)
+    header = "  ".join(f"{impl:>12s}" for impl in impls)
+    print(f"{args.dim:>6s}  {header}  {'winner':>10s}")
+    for v in values:
+        cells = []
+        for impl in impls:
+            t = result.time(v, impl)
+            cells.append(f"{t:12.3f}" if t is not None else f"{'n/a':>12s}")
+        try:
+            winner = result.winner(v)
+        except ValueError:
+            winner = "-"
+        print(f"{v:6d}  " + "  ".join(cells) + f"  {winner:>10s}")
+    for value, old, new in crossovers(result):
+        print(f"crossover at {args.dim}={value}: {old} -> {new}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    engine = SimulationEngine(device, check_memory=False)
+    name = args.layer.upper()
+    if name in CONV_LAYERS:
+        spec = CONV_LAYERS[name]
+        entries = []
+        for impl in ("direct", "im2col", "im2col-nhwc", "fft", "fft-tiled"):
+            try:
+                entries.append((impl, engine.run(make_conv_kernel(spec, impl))))
+            except (ConvUnsupportedError, GpuOutOfMemoryError) as exc:
+                print(f"{impl}: unavailable ({exc})")
+        print(comparison_table(device, entries))
+        if args.verbose:
+            for impl, stats in entries:
+                print()
+                print(kernel_report(device, stats))
+    elif name in POOL_LAYERS:
+        spec = POOL_LAYERS[name]
+        entries = [
+            (impl, engine.run(make_pool_kernel(spec, impl)))
+            for impl in ("chwn", "chwn-coarsened", "nchw-linear", "nchw-rowblock")
+        ]
+        print(comparison_table(device, entries))
+        if args.verbose:
+            for impl, stats in entries:
+                print()
+                print(kernel_report(device, stats))
+    else:
+        known = ", ".join(list(CONV_LAYERS) + list(POOL_LAYERS))
+        print(f"unknown layer {args.layer!r}; known: {known}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_footprint(args: argparse.Namespace) -> int:
+    from .framework import Net
+    from .framework.memory import format_footprint, plan_within_memory
+
+    device = get_device(args.device)
+    net = Net(build_network(args.network, batch=args.batch))
+    plan, footprint = plan_within_memory(device, net, training=args.training)
+    mode = "training" if args.training else "inference"
+    print(f"{net.name} ({mode}) on {device.name}:")
+    print(" ", format_footprint(footprint))
+    print(
+        f"  peak {footprint.peak_bytes / 2**30:.2f} GiB of "
+        f"{device.dram_gib:.0f} GiB -> fits: {footprint.fits(device)}"
+    )
+    fft_layers = [s.name for s in plan.steps if "fft" in s.implementation]
+    if fft_layers:
+        print(f"  plan uses FFT on: {', '.join(fft_layers)}")
+    else:
+        print("  plan avoids FFT (memory pressure or no benefit)")
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    desc = TensorDesc(args.n, args.c, args.hw, args.hw, CHWN)
+    print(f"CHWN -> NCHW relayout of N={args.n} C={args.c} HW={args.hw} "
+          f"({desc.nbytes / 2**20:.1f} MiB):")
+    for method in ("naive", "opt1", "opt2"):
+        try:
+            s = transform_stats(device, desc, NCHW, method)
+        except ValueError as exc:
+            print(f"  {method:6s}  n/a ({exc})")
+            continue
+        print(
+            f"  {method:6s} {s.time_ms:8.3f} ms   "
+            f"{s.effective_bandwidth_gbs:6.1f} GB/s effective"
+        )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory-efficiency optimizations for deep CNNs on GPUs "
+        "(SC'16 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list devices, networks and schemes")
+
+    p = sub.add_parser("calibrate", help="derive the (Ct, Nt) layout thresholds")
+    _add_device(p)
+
+    p = sub.add_parser("plan", help="plan layouts for a network")
+    _add_device(p)
+    p.add_argument("--network", required=True, choices=sorted(NETWORK_BUILDERS))
+    p.add_argument("--batch", type=int, default=None)
+    p.add_argument("--strategy", choices=("heuristic", "optimal"), default="optimal")
+
+    p = sub.add_parser("bench", help="simulate networks or layer groups")
+    _add_device(p)
+    p.add_argument("--network", choices=sorted(NETWORK_BUILDERS))
+    p.add_argument("--layers", choices=("conv", "pool", "softmax"))
+
+    p = sub.add_parser("attribute", help="decompose Opt's gain (Section VI.C)")
+    _add_device(p)
+    p.add_argument("--network", required=True, choices=sorted(NETWORK_BUILDERS))
+    p.add_argument("--batch", type=int, default=None)
+    p.add_argument("--baseline", default="cudnn-best")
+
+    p = sub.add_parser("sweep", help="sensitivity sweep over one conv dimension")
+    _add_device(p)
+    p.add_argument("--layer", required=True, help="CV1..CV12 base shape")
+    p.add_argument("--dim", default="n", help="ConvSpec field to vary (n, ci, co, h)")
+    p.add_argument("--values", default="16,32,64,128,256")
+    p.add_argument("--impls", default="direct,im2col")
+
+    p = sub.add_parser("inspect", help="profiler-style report for one Table-1 layer")
+    _add_device(p)
+    p.add_argument("--layer", required=True, help="CV1..CV12 or PL1..PL10")
+    p.add_argument("--verbose", action="store_true", help="full per-kernel reports")
+
+    p = sub.add_parser("footprint", help="device-memory footprint of a network")
+    _add_device(p)
+    p.add_argument("--network", required=True, choices=sorted(NETWORK_BUILDERS))
+    p.add_argument("--batch", type=int, default=None)
+    p.add_argument("--training", action="store_true")
+
+    p = sub.add_parser("transform", help="compare layout-transform kernels")
+    _add_device(p)
+    p.add_argument("--n", type=int, default=64)
+    p.add_argument("--c", type=int, default=96)
+    p.add_argument("--hw", type=int, default=55)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "calibrate": _cmd_calibrate,
+        "plan": _cmd_plan,
+        "bench": _cmd_bench,
+        "attribute": _cmd_attribute,
+        "sweep": _cmd_sweep,
+        "inspect": _cmd_inspect,
+        "footprint": _cmd_footprint,
+        "transform": _cmd_transform,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""The paper's contribution: layout heuristics, calibration, planning,
+pooling auto-tuning, and softmax kernel fusion."""
+
+from .autotune import TuneResult, autotune_pooling
+from .calibration import (
+    C_SWEEP,
+    CalibrationResult,
+    N_SWEEP,
+    REFERENCE_SHAPE,
+    SweepPoint,
+    calibrate,
+)
+from .fusion import FusionReport, can_fuse_softmax, fuse_softmax, fusion_report
+from .heuristic import (
+    LayoutThresholds,
+    PAPER_THRESHOLDS,
+    explain_conv_choice,
+    preferred_conv_layout,
+    preferred_pool_layout,
+    thresholds_for,
+)
+from .planner import (
+    LayoutPlan,
+    NodeKind,
+    PlanNode,
+    PlanStep,
+    plan_optimal,
+    plan_single_layout,
+    plan_with_heuristic,
+)
+from .selector import (
+    ConvChoice,
+    LAYOUT_IMPLEMENTATIONS,
+    best_conv_for_layout,
+    cudnn_mode_conv,
+    try_conv_time,
+)
+
+__all__ = [
+    "C_SWEEP",
+    "CalibrationResult",
+    "ConvChoice",
+    "FusionReport",
+    "LAYOUT_IMPLEMENTATIONS",
+    "LayoutPlan",
+    "LayoutThresholds",
+    "N_SWEEP",
+    "NodeKind",
+    "PAPER_THRESHOLDS",
+    "PlanNode",
+    "PlanStep",
+    "REFERENCE_SHAPE",
+    "SweepPoint",
+    "TuneResult",
+    "autotune_pooling",
+    "best_conv_for_layout",
+    "calibrate",
+    "can_fuse_softmax",
+    "cudnn_mode_conv",
+    "explain_conv_choice",
+    "fuse_softmax",
+    "fusion_report",
+    "plan_optimal",
+    "plan_single_layout",
+    "plan_with_heuristic",
+    "preferred_conv_layout",
+    "preferred_pool_layout",
+    "thresholds_for",
+    "try_conv_time",
+]

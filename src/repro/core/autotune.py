@@ -1,0 +1,97 @@
+"""Hill-climbing auto-tuner for pooling thread coarsening (Section V.A).
+
+"With an initial factor of 2, the expansion factor continues to increase
+linearly if the performance improves.  Otherwise it stops as further
+expansion leads to high register pressure thus limiting the TLP."
+
+The tuner climbs each direction (ux along W, uy along H) alternately; the
+cost function is the simulated kernel time, in which larger tiles cut DRAM
+traffic (shared window footprints) but raise register pressure and so
+reduce occupancy — the exact trade-off the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.engine import SimulationEngine
+from ..layers.base import PoolSpec
+from ..layers.pooling_kernels import PoolingCHWN, PoolingCoarsenedCHWN
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Chosen expansion factors and the search trace."""
+
+    ux: int
+    uy: int
+    time_ms: float
+    baseline_ms: float
+    evaluations: tuple[tuple[int, int, float], ...]
+
+    @property
+    def speedup(self) -> float:
+        """Improvement over the un-coarsened CHWN kernel."""
+        return self.baseline_ms / self.time_ms if self.time_ms else 0.0
+
+
+def _time(engine: SimulationEngine, spec: PoolSpec, ux: int, uy: int) -> float:
+    if (ux, uy) == (1, 1):
+        return engine.run(PoolingCHWN(spec)).time_ms
+    return engine.run(PoolingCoarsenedCHWN(spec, ux=ux, uy=uy)).time_ms
+
+
+def autotune_pooling(
+    device: DeviceSpec,
+    spec: PoolSpec,
+    max_factor: int = 8,
+    initial: int = 2,
+) -> TuneResult:
+    """Hill-climb (ux, uy) for one pooling layer.
+
+    Starts from the paper's initial factor of 2 in each direction, grows one
+    direction at a time while the simulated time improves, and stops on the
+    first regression (the pruning heuristic of Section V.A).  Falls back to
+    (1, 1) — the plain kernel — when no expansion helps, which is what
+    happens for non-overlapped pooling where there is no shared data to
+    reuse.
+    """
+    if max_factor < 1 or initial < 1:
+        raise ValueError("factors must be at least 1")
+    engine = SimulationEngine(device, check_memory=False)
+    trace: list[tuple[int, int, float]] = []
+
+    baseline = _time(engine, spec, 1, 1)
+    trace.append((1, 1, baseline))
+
+    best_u = (1, 1)
+    best_t = baseline
+    start = _time(engine, spec, initial, initial)
+    trace.append((initial, initial, start))
+    if start < best_t:
+        best_u, best_t = (initial, initial), start
+
+        improving = True
+        while improving:
+            improving = False
+            for dim in (0, 1):
+                candidate = list(best_u)
+                candidate[dim] = min(max_factor, candidate[dim] + 1)
+                cand = (candidate[0], candidate[1])
+                if cand == best_u:
+                    continue
+                t = _time(engine, spec, *cand)
+                trace.append((*cand, t))
+                if t < best_t:
+                    best_u, best_t = cand, t
+                    improving = True
+                # else: stop climbing this direction (hill-climb pruning)
+
+    return TuneResult(
+        ux=best_u[0],
+        uy=best_u[1],
+        time_ms=best_t,
+        baseline_ms=baseline,
+        evaluations=tuple(trace),
+    )

@@ -1,0 +1,104 @@
+"""One-time per-device threshold calibration (paper Section IV.A/IV.D).
+
+The paper derives (Ct, Nt) from a single profiling run that sweeps N and C
+on a reference convolution shape (their Fig. 4); "for each GPU architecture,
+we only need one-time profiling to determine the thresholds".  Here the
+profiling runs against the simulator instead of hardware: we time the best
+CHWN implementation (direct convolution) and the best NCHW implementation
+(im2col + GEMM) at each sweep point and locate the crossovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.engine import SimulationEngine
+from ..layers.base import ConvSpec
+from ..layers.conv_kernels import make_conv_kernel
+from .heuristic import LayoutThresholds
+
+#: Default sweep grids, matching the paper's Fig. 4 axes.
+N_SWEEP: tuple[int, ...] = (16, 32, 64, 128, 256, 384, 512)
+C_SWEEP: tuple[int, ...] = (1, 3, 16, 32, 64, 128, 256)
+
+#: CONV7-like reference shape used by the paper for its sensitivity study
+#: ("CONV7 in Table 1 is used while others show similar trends").
+REFERENCE_SHAPE = ConvSpec(n=64, ci=256, h=13, w=13, co=384, fh=3, fw=3, stride=1, pad=1)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One profiling measurement: times for both layouts at a sweep value."""
+
+    value: int
+    chwn_ms: float
+    nchw_ms: float
+
+    @property
+    def chwn_wins(self) -> bool:
+        return self.chwn_ms <= self.nchw_ms
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Thresholds plus the raw sweep data that produced them."""
+
+    thresholds: LayoutThresholds
+    n_sweep: tuple[SweepPoint, ...]
+    c_sweep: tuple[SweepPoint, ...]
+    profiling_ms: float
+
+    def summary(self) -> str:
+        lines = [
+            f"calibrated thresholds: Ct={self.thresholds.ct} Nt={self.thresholds.nt}",
+            f"simulated profiling cost: {self.profiling_ms:.1f} ms of GPU time",
+        ]
+        return "\n".join(lines)
+
+
+def _time_both(engine: SimulationEngine, spec: ConvSpec) -> tuple[float, float]:
+    chwn = engine.run(make_conv_kernel(spec, "direct")).time_ms
+    nchw = engine.run(make_conv_kernel(spec, "im2col")).time_ms
+    return chwn, nchw
+
+
+def calibrate(
+    device: DeviceSpec,
+    reference: ConvSpec = REFERENCE_SHAPE,
+    n_values: tuple[int, ...] = N_SWEEP,
+    c_values: tuple[int, ...] = C_SWEEP,
+) -> CalibrationResult:
+    """Recover (Ct, Nt) for a device from the Fig. 4 style sweeps.
+
+    * **Nt** — smallest swept N (at the reference's large C) where the CHWN
+      path wins; above it, batch-register reuse carries CHWN regardless of C.
+    * **Ct** — smallest swept C where the NCHW path wins, measured at a
+      batch *below* Nt so the N-rule does not mask the C crossover.
+    """
+    engine = SimulationEngine(device, check_memory=False)
+    profiling_ms = 0.0
+
+    n_points: list[SweepPoint] = []
+    for n in sorted(n_values):
+        chwn, nchw = _time_both(engine, replace(reference, n=n))
+        profiling_ms += chwn + nchw
+        n_points.append(SweepPoint(n, chwn, nchw))
+    nt = next((p.value for p in n_points if p.chwn_wins), max(n_values))
+
+    c_batch = max((n for n in n_values if n < nt), default=min(n_values))
+    c_points: list[SweepPoint] = []
+    for c in sorted(c_values):
+        chwn, nchw = _time_both(engine, replace(reference, ci=c, n=c_batch))
+        profiling_ms += chwn + nchw
+        c_points.append(SweepPoint(c, chwn, nchw))
+    ct = next(
+        (p.value for p in c_points if not p.chwn_wins), max(c_values) * 2
+    )
+
+    return CalibrationResult(
+        thresholds=LayoutThresholds(ct=int(ct), nt=int(nt)),
+        n_sweep=tuple(n_points),
+        c_sweep=tuple(c_points),
+        profiling_ms=profiling_ms,
+    )

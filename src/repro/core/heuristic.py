@@ -1,0 +1,82 @@
+"""The paper's light-weight data-layout selection heuristic (Section IV.A).
+
+For a convolutional layer:
+
+1. if ``C < Ct`` the CHWN layout is preferred (the NCHW path's matrix
+   expansion cost is not amortized by a short GEMM reduction);
+2. else if ``N >= Nt`` CHWN is still preferred (the batch dimension is wide
+   enough for both coalescing and per-thread register reuse);
+3. otherwise NCHW is preferred.
+
+Pooling layers always prefer CHWN (Section IV.B: their access pattern makes
+NCHW strided regardless of configuration).  The thresholds are properties
+of the GPU, recovered once per device by :mod:`repro.core.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceSpec
+from ..layers.base import ConvSpec, PoolSpec
+from ..tensors.layout import CHWN, NCHW, DataLayout
+
+
+@dataclass(frozen=True)
+class LayoutThresholds:
+    """Device-specific (Ct, Nt) pair."""
+
+    ct: int
+    nt: int
+
+    def __post_init__(self) -> None:
+        if self.ct <= 0 or self.nt <= 0:
+            raise ValueError("thresholds must be positive")
+
+
+#: Thresholds the paper reports for its two GPUs.  Our calibration sweep
+#: (``repro.core.calibration``) recovers equivalent values from the model —
+#: see EXPERIMENTS.md for the comparison.
+PAPER_THRESHOLDS: dict[str, LayoutThresholds] = {
+    "GTX Titan Black": LayoutThresholds(ct=32, nt=128),
+    "GTX Titan X": LayoutThresholds(ct=128, nt=64),
+}
+
+
+def thresholds_for(device: DeviceSpec) -> LayoutThresholds:
+    """Thresholds for a device, defaulting to the Titan Black pair."""
+    return PAPER_THRESHOLDS.get(device.name, PAPER_THRESHOLDS["GTX Titan Black"])
+
+
+def preferred_conv_layout(
+    spec: ConvSpec, thresholds: LayoutThresholds
+) -> DataLayout:
+    """Apply the paper's two-rule heuristic to a convolution layer."""
+    if spec.ci < thresholds.ct:
+        return CHWN
+    if spec.n >= thresholds.nt:
+        return CHWN
+    return NCHW
+
+
+def preferred_pool_layout(spec: PoolSpec) -> DataLayout:
+    """Pooling always prefers CHWN (strided NCHW windows never coalesce)."""
+    return CHWN
+
+
+def explain_conv_choice(spec: ConvSpec, thresholds: LayoutThresholds) -> str:
+    """Human-readable rationale, used by the CLI's ``plan`` command."""
+    if spec.ci < thresholds.ct:
+        return (
+            f"C={spec.ci} < Ct={thresholds.ct}: matrix-expansion cost of NCHW "
+            "is not amortized -> CHWN"
+        )
+    if spec.n >= thresholds.nt:
+        return (
+            f"N={spec.n} >= Nt={thresholds.nt}: batch wide enough for "
+            "coalescing + register reuse -> CHWN"
+        )
+    return (
+        f"C={spec.ci} >= Ct={thresholds.ct} and N={spec.n} < Nt={thresholds.nt}: "
+        "merged-GEMM efficiency wins -> NCHW"
+    )

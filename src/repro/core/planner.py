@@ -1,0 +1,363 @@
+"""Network-level layout planning (Section IV.D).
+
+The planner assigns a storage layout to every conv/pool layer, inserting
+layout transformations where consecutive layers disagree, and weighing each
+transform's cost against the layout's benefit — the paper's "one-time
+profiling can be applied to fine tune the data layout settings
+automatically".
+
+Two planners are provided:
+
+* :func:`plan_with_heuristic` — apply the (Ct, Nt) rules per layer, then
+  drop any transform whose cost exceeds the layout benefit it enables
+  (the paper's fine-tuning step, e.g. keeping CV5/CV9 in the surrounding
+  layout because their preference is worth less than the transpose).
+* :func:`plan_optimal` — dynamic programming over the layer chain, the
+  exhaustive version of the same trade-off.  Used in tests to prove the
+  heuristic plan is near-optimal and in the ``Opt`` whole-network scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.engine import SimulationEngine
+from ..layers.base import ConvSpec, PoolSpec, SoftmaxSpec
+from ..layers.softmax_kernels import make_softmax_kernel
+from ..tensors.layout import CHWN, NCHW, DataLayout
+from ..tensors.tensor import TensorDesc
+from ..tensors.transform_kernels import transform_time_ms
+from .autotune import autotune_pooling
+from .heuristic import (
+    LayoutThresholds,
+    preferred_conv_layout,
+    preferred_pool_layout,
+    thresholds_for,
+)
+from .selector import best_conv_for_layout
+
+PLAN_LAYOUTS: tuple[DataLayout, ...] = (CHWN, NCHW)
+
+
+class NodeKind(Enum):
+    """What a planner node computes."""
+
+    CONV = "conv"
+    POOL = "pool"
+    ELEMENTWISE = "elementwise"  # relu / lrn: layout-transparent
+    CLASSIFIER = "classifier"  # fc / softmax: layout-irrelevant (flattened)
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One layer as the planner sees it."""
+
+    name: str
+    kind: NodeKind
+    spec: object | None = None  # ConvSpec | PoolSpec | SoftmaxSpec | None
+    #: fixed per-layer time for kinds whose cost does not depend on layout
+    fixed_ms: float = 0.0
+    #: logical input tensor dims (N, C, H, W) — what a transform would move
+    in_dims: tuple[int, int, int, int] | None = None
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """Planner output for one layer."""
+
+    name: str
+    kind: NodeKind
+    layout: DataLayout | None
+    implementation: str
+    layer_ms: float
+    transform_ms: float = 0.0
+    coarsening: tuple[int, int] | None = None
+
+    @property
+    def total_ms(self) -> float:
+        return self.layer_ms + self.transform_ms
+
+
+@dataclass(frozen=True)
+class LayoutPlan:
+    """A complete layout assignment for a network."""
+
+    steps: tuple[PlanStep, ...]
+    device: str
+    strategy: str
+
+    @property
+    def total_ms(self) -> float:
+        return sum(s.total_ms for s in self.steps)
+
+    @property
+    def transform_count(self) -> int:
+        return sum(1 for s in self.steps if s.transform_ms > 0)
+
+    @property
+    def transform_ms(self) -> float:
+        return sum(s.transform_ms for s in self.steps)
+
+    def summary(self) -> str:
+        lines = [f"plan[{self.strategy}] on {self.device}: {self.total_ms:.3f} ms"]
+        for s in self.steps:
+            layout = str(s.layout) if s.layout else "-"
+            extra = f" (+transform {s.transform_ms:.3f} ms)" if s.transform_ms else ""
+            lines.append(
+                f"  {s.name:12s} {s.kind.value:12s} {layout:5s} "
+                f"{s.implementation:16s} {s.layer_ms:8.3f} ms{extra}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _LayerCosts:
+    """Per-layout cost and chosen implementation for one node."""
+
+    node: PlanNode
+    per_layout: dict[str, tuple[float, str, tuple[int, int] | None]] = field(
+        default_factory=dict
+    )
+
+    def cost(self, layout: DataLayout) -> float:
+        return self.per_layout[str(layout)][0]
+
+    def choice(self, layout: DataLayout) -> tuple[float, str, tuple[int, int] | None]:
+        return self.per_layout[str(layout)]
+
+
+def _node_costs(
+    engine: SimulationEngine,
+    node: PlanNode,
+    device: DeviceSpec,
+    tune_pooling: bool,
+    allow_fft: bool,
+    layouts: tuple[DataLayout, ...] = PLAN_LAYOUTS,
+) -> _LayerCosts:
+    costs = _LayerCosts(node)
+    if node.kind is NodeKind.CONV:
+        assert isinstance(node.spec, ConvSpec)
+        for layout in layouts:
+            choice = best_conv_for_layout(engine, node.spec, layout, allow_fft=allow_fft)
+            costs.per_layout[str(layout)] = (choice.time_ms, choice.implementation, None)
+    elif node.kind is NodeKind.POOL:
+        assert isinstance(node.spec, PoolSpec)
+        from ..layers.pooling_kernels import make_pool_kernel
+
+        if tune_pooling:
+            tuned = autotune_pooling(device, node.spec)
+            coarsen = (tuned.ux, tuned.uy)
+            chwn_ms = tuned.time_ms
+            impl = (
+                "chwn-coarsened" if coarsen != (1, 1) else "chwn"
+            )
+        else:
+            chwn_ms = engine.run(make_pool_kernel(node.spec, "chwn")).time_ms
+            coarsen, impl = None, "chwn"
+        costs.per_layout[str(CHWN)] = (chwn_ms, impl, coarsen)
+        # When a pool stays out of CHWN (transform not worth it), the
+        # framework still picks the faster of the available channel-major
+        # kernels; every non-CHWN layout shares that pattern in the model.
+        nchw_ms, nchw_impl = min(
+            (engine.run(make_pool_kernel(node.spec, impl_name)).time_ms, impl_name)
+            for impl_name in ("nchw-linear", "nchw-rowblock")
+        )
+        for layout in layouts:
+            if layout != CHWN:
+                costs.per_layout[str(layout)] = (nchw_ms, nchw_impl, None)
+    elif node.kind is NodeKind.ELEMENTWISE:
+        for layout in layouts:
+            costs.per_layout[str(layout)] = (node.fixed_ms, "elementwise", None)
+    else:  # CLASSIFIER
+        if isinstance(node.spec, SoftmaxSpec):
+            ms = engine.run(make_softmax_kernel(node.spec, "opt")).time_ms
+            impl = "softmax-opt"
+        else:
+            ms, impl = node.fixed_ms, "gemm"
+        for layout in layouts:
+            costs.per_layout[str(layout)] = (ms, impl, None)
+    return costs
+
+
+def _transform_ms(
+    device: DeviceSpec,
+    node: PlanNode,
+    src: DataLayout,
+    dst: DataLayout,
+) -> float:
+    if src == dst or node.in_dims is None:
+        return 0.0
+    if node.kind is NodeKind.CLASSIFIER:
+        return 0.0  # flattening erases the 4-D layout; no transform needed
+    desc = TensorDesc(*node.in_dims, layout=src)
+    return transform_time_ms(device, desc, dst, method="auto")
+
+
+def _build_costs(
+    device: DeviceSpec,
+    nodes: list[PlanNode],
+    tune_pooling: bool,
+    allow_fft: bool,
+    layouts: tuple[DataLayout, ...] = PLAN_LAYOUTS,
+) -> list[_LayerCosts]:
+    engine = SimulationEngine(device, check_memory=False)
+    return [
+        _node_costs(engine, node, device, tune_pooling, allow_fft, layouts)
+        for node in nodes
+    ]
+
+
+def _assemble(
+    device: DeviceSpec,
+    nodes: list[PlanNode],
+    costs: list[_LayerCosts],
+    layouts: list[DataLayout],
+    strategy: str,
+) -> LayoutPlan:
+    steps: list[PlanStep] = []
+    prev = layouts[0]
+    for node, cost, layout in zip(nodes, costs, layouts):
+        t_ms = _transform_ms(device, node, prev, layout)
+        layer_ms, impl, coarsen = cost.choice(layout)
+        effective = layout if node.kind in (NodeKind.CONV, NodeKind.POOL) else None
+        steps.append(
+            PlanStep(
+                name=node.name,
+                kind=node.kind,
+                layout=effective,
+                implementation=impl,
+                layer_ms=layer_ms,
+                transform_ms=t_ms,
+                coarsening=coarsen,
+            )
+        )
+        if node.kind is not NodeKind.CLASSIFIER:
+            prev = layout
+    return LayoutPlan(steps=tuple(steps), device=device.name, strategy=strategy)
+
+
+def plan_single_layout(
+    device: DeviceSpec,
+    nodes: list[PlanNode],
+    layout: DataLayout,
+    tune_pooling: bool = False,
+    allow_fft: bool = True,
+    strategy: str | None = None,
+) -> LayoutPlan:
+    """Cost of running the whole network in one fixed layout (the existing
+    libraries' behaviour)."""
+    costs = _build_costs(device, nodes, tune_pooling, allow_fft)
+    layouts = [layout] * len(nodes)
+    return _assemble(
+        device, nodes, costs, layouts, strategy or f"single-{layout}"
+    )
+
+
+def plan_with_heuristic(
+    device: DeviceSpec,
+    nodes: list[PlanNode],
+    thresholds: LayoutThresholds | None = None,
+    tune_pooling: bool = True,
+    allow_fft: bool = True,
+) -> LayoutPlan:
+    """The paper's mechanism: per-layer (Ct, Nt) rules + transform-cost
+    fine-tuning.
+
+    After the per-layer preferences are set, each *maximal run* of layers
+    whose preference differs from its surroundings is kept only if its
+    benefit exceeds the two transforms it would cost (this is what keeps
+    tiny first-layer convolutions like CV9 in the surrounding layout).
+    """
+    thresholds = thresholds or thresholds_for(device)
+    costs = _build_costs(device, nodes, tune_pooling, allow_fft)
+
+    preferred: list[DataLayout] = []
+    for node in nodes:
+        if node.kind is NodeKind.CONV:
+            assert isinstance(node.spec, ConvSpec)
+            preferred.append(preferred_conv_layout(node.spec, thresholds))
+        elif node.kind is NodeKind.POOL:
+            assert isinstance(node.spec, PoolSpec)
+            preferred.append(preferred_pool_layout(node.spec))
+        else:
+            preferred.append(preferred[-1] if preferred else CHWN)
+
+    # Fine-tune: flatten a run of same-preference layers into a neighbouring
+    # layout when the run's benefit does not pay for its boundary transforms.
+    layouts = list(preferred)
+    changed = True
+    while changed:
+        changed = False
+        i = 0
+        while i < len(layouts):
+            j = i
+            while j < len(layouts) and layouts[j] == layouts[i]:
+                j += 1
+            current = layouts[i]
+            prev_l = layouts[i - 1] if i > 0 else None
+            next_l = layouts[j] if j < len(layouts) else None
+            alt = prev_l if (prev_l is not None and prev_l != current) else (
+                next_l if (next_l is not None and next_l != current) else None
+            )
+            if alt is not None:
+                keep_cost = sum(costs[k].cost(current) for k in range(i, j))
+                if prev_l is not None and prev_l != current:
+                    keep_cost += _transform_ms(device, nodes[i], prev_l, current)
+                if next_l is not None and next_l != current:
+                    keep_cost += _transform_ms(device, nodes[j], current, next_l)
+                flat_cost = sum(costs[k].cost(alt) for k in range(i, j))
+                if prev_l is not None and prev_l != alt:
+                    flat_cost += _transform_ms(device, nodes[i], prev_l, alt)
+                if next_l is not None and next_l != alt:
+                    flat_cost += _transform_ms(device, nodes[j], alt, next_l)
+                if flat_cost < keep_cost:
+                    for k in range(i, j):
+                        layouts[k] = alt
+                    changed = True
+            i = j
+    return _assemble(device, nodes, costs, layouts, "heuristic")
+
+
+def plan_optimal(
+    device: DeviceSpec,
+    nodes: list[PlanNode],
+    tune_pooling: bool = True,
+    allow_fft: bool = True,
+    layouts: tuple[DataLayout, ...] = PLAN_LAYOUTS,
+) -> LayoutPlan:
+    """Dynamic program over (layer, layout) states — minimal total time
+    including transforms.
+
+    ``layouts`` widens the search space beyond the default {CHWN, NCHW}
+    pair (e.g. to include NHWC); every candidate layout needs a registered
+    convolution implementation family.
+    """
+    if not layouts:
+        raise ValueError("need at least one candidate layout")
+    costs = _build_costs(device, nodes, tune_pooling, allow_fft, layouts)
+    n = len(nodes)
+    if n == 0:
+        return LayoutPlan(steps=(), device=device.name, strategy="optimal")
+
+    best: list[dict[str, float]] = [dict() for _ in range(n)]
+    back: list[dict[str, str]] = [dict() for _ in range(n)]
+    for layout in layouts:
+        best[0][str(layout)] = costs[0].cost(layout)
+    for i in range(1, n):
+        for layout in layouts:
+            options = []
+            for prev in layouts:
+                t = _transform_ms(device, nodes[i], prev, layout)
+                options.append((best[i - 1][str(prev)] + t + costs[i].cost(layout), str(prev)))
+            cost, prev_key = min(options)
+            best[i][str(layout)] = cost
+            back[i][str(layout)] = prev_key
+
+    final = min(layouts, key=lambda lo: best[n - 1][str(lo)])
+    layouts = [final]
+    for i in range(n - 1, 0, -1):
+        layouts.append(DataLayout(back[i][str(layouts[-1])]))
+    layouts.reverse()
+    return _assemble(device, nodes, costs, layouts, "optimal")

@@ -1,0 +1,5 @@
+"""Synthetic dataset substitutes for MNIST / CIFAR (see DESIGN.md)."""
+
+from .synthetic import Dataset, batches, synthetic_digits, synthetic_objects
+
+__all__ = ["Dataset", "batches", "synthetic_digits", "synthetic_objects"]

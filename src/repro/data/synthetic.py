@@ -1,0 +1,118 @@
+"""Synthetic stand-ins for the paper's datasets (MNIST / CIFAR / ImageNet).
+
+The reproduction has no network access and no dataset files; memory
+behaviour depends only on tensor shapes, and training correctness only
+needs *learnable* data.  These generators produce class-separable images
+with the right shapes:
+
+* :func:`synthetic_digits` — MNIST-shaped (1 x 28 x 28) grey images whose
+  class determines an oriented bar pattern (ten distinguishable classes);
+* :func:`synthetic_objects` — CIFAR-shaped (3 x H x W) color images whose
+  class determines a color/frequency signature;
+* :func:`batches` — a seeded mini-batch iterator.
+
+The structure is deliberately simple enough for a small CNN to fit in a few
+dozen SGD steps, which is what the training tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_F = np.float32
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Images (logical N, C, H, W) with integer labels."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 4:
+            raise ValueError("images must be (N, C, H, W)")
+        if self.labels.shape != (self.images.shape[0],):
+            raise ValueError("labels must be one per image")
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+    def subset(self, n: int) -> "Dataset":
+        return Dataset(self.images[:n], self.labels[:n])
+
+
+def _bar_pattern(h: int, w: int, klass: int, n_classes: int) -> np.ndarray:
+    """An oriented sinusoidal grating whose angle encodes the class."""
+    angle = np.pi * klass / n_classes
+    yy, xx = np.mgrid[0:h, 0:w].astype(np.float64)
+    coord = np.cos(angle) * xx + np.sin(angle) * yy
+    period = 3.0 + (klass % 3)
+    return np.sin(2 * np.pi * coord / period)
+
+
+def synthetic_digits(
+    n_samples: int = 256,
+    image: int = 28,
+    n_classes: int = 10,
+    noise: float = 0.3,
+    seed: int = 0,
+) -> Dataset:
+    """MNIST-shaped grey images: class = grating orientation/frequency."""
+    if n_samples <= 0 or image <= 0 or n_classes <= 0:
+        raise ValueError("sizes must be positive")
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, n_classes, size=n_samples)
+    images = np.empty((n_samples, 1, image, image), dtype=_F)
+    for i, k in enumerate(labels):
+        base = _bar_pattern(image, image, int(k), n_classes)
+        images[i, 0] = base + noise * rng.standard_normal((image, image))
+    return Dataset(images.astype(_F), labels.astype(np.int64))
+
+
+def synthetic_objects(
+    n_samples: int = 256,
+    image: int = 24,
+    n_classes: int = 10,
+    noise: float = 0.3,
+    seed: int = 0,
+) -> Dataset:
+    """CIFAR-shaped color images: class = (hue, orientation) signature."""
+    if n_samples <= 0 or image <= 0 or n_classes <= 0:
+        raise ValueError("sizes must be positive")
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, n_classes, size=n_samples)
+    images = np.empty((n_samples, 3, image, image), dtype=_F)
+    for i, k in enumerate(labels):
+        base = _bar_pattern(image, image, int(k), n_classes)
+        hue = 2 * np.pi * int(k) / n_classes
+        weights = np.array(
+            [np.cos(hue), np.cos(hue - 2 * np.pi / 3), np.cos(hue + 2 * np.pi / 3)]
+        )
+        for c in range(3):
+            images[i, c] = weights[c] * base + noise * rng.standard_normal(
+                (image, image)
+            )
+    return Dataset(images.astype(_F), labels.astype(np.int64))
+
+
+def batches(dataset: Dataset, batch_size: int, seed: int = 0, epochs: int = 1):
+    """Yield shuffled (images, labels) mini-batches.
+
+    Drops the final ragged batch, like the fixed-batch GPU pipelines the
+    paper benchmarks (batch size is baked into the kernel configuration).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    n = dataset.images.shape[0]
+    if batch_size > n:
+        raise ValueError("batch larger than dataset")
+    rng = np.random.default_rng(seed)
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        for start in range(0, n - batch_size + 1, batch_size):
+            idx = order[start : start + batch_size]
+            yield dataset.images[idx], dataset.labels[idx]

@@ -1,0 +1,21 @@
+"""Forward-looking extensions the paper's Section VII anticipates:
+Winograd fast convolution (in ``repro.layers.winograd``) and FP16/Pascal
+execution (here)."""
+
+from .fp16 import (
+    Fp16LayerComparison,
+    TESLA_P100,
+    as_fp16,
+    compare_layouts_fp16,
+    fp16_device,
+    memory_bound_share,
+)
+
+__all__ = [
+    "Fp16LayerComparison",
+    "TESLA_P100",
+    "as_fp16",
+    "compare_layouts_fp16",
+    "fp16_device",
+    "memory_bound_share",
+]

@@ -1,0 +1,57 @@
+"""Caffe-analog framework: network definitions, shape resolution, and
+layout-plan-driven numeric execution."""
+
+from .annotate import (
+    LayerAnnotation,
+    annotations_from_plan,
+    format_annotated_netdef,
+    parse_annotated_netdef,
+    plan_from_annotations,
+)
+from .memory import (
+    MemoryFootprint,
+    format_footprint,
+    network_footprint,
+    plan_within_memory,
+)
+from .net import Net, ResolvedLayer, build_net, resolve
+from .training import Trainer, TrainStep, train
+from .netdef import (
+    ConvDef,
+    FCDef,
+    LayerDef,
+    LRNDef,
+    NetworkDef,
+    PoolDef,
+    SoftmaxDef,
+    format_netdef,
+    parse_netdef,
+)
+
+__all__ = [
+    "ConvDef",
+    "LayerAnnotation",
+    "MemoryFootprint",
+    "annotations_from_plan",
+    "format_annotated_netdef",
+    "format_footprint",
+    "network_footprint",
+    "parse_annotated_netdef",
+    "plan_from_annotations",
+    "plan_within_memory",
+    "FCDef",
+    "LRNDef",
+    "LayerDef",
+    "Net",
+    "NetworkDef",
+    "PoolDef",
+    "ResolvedLayer",
+    "SoftmaxDef",
+    "TrainStep",
+    "Trainer",
+    "build_net",
+    "format_netdef",
+    "parse_netdef",
+    "resolve",
+    "train",
+]

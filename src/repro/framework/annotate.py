@@ -1,0 +1,142 @@
+"""Layout annotations in network definitions (paper Section IV.D).
+
+"Applying our data layout support requires two changes.  The first is to
+add a new field in each convolutional and pooling layer to indicate the
+data layout choice.  By scanning through the network once, the field in
+each layer is set ... The second is at the runtime ... an additional check
+is inserted to determine whether a data layout transformation is needed
+before passing the output to the next layer."
+
+This module is that first change: a :class:`LayoutPlan` can be *baked into*
+a :class:`NetworkDef` as per-layer annotations, serialized with the network
+(the text format grows a ``layout=`` key), parsed back, and re-hydrated
+into a plan-equivalent annotation map the runtime consumes.  The runtime
+check is :meth:`repro.framework.net.Net.forward`'s transform insertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.planner import LayoutPlan, NodeKind
+from ..tensors.layout import DataLayout, parse_layout
+from .netdef import NetworkDef
+
+
+@dataclass(frozen=True)
+class LayerAnnotation:
+    """The per-layer fields Section IV.D adds to the configuration file."""
+
+    layout: DataLayout
+    implementation: str
+    coarsening: tuple[int, int] | None = None
+
+    def encode(self) -> str:
+        parts = [f"layout={self.layout}", f"impl={self.implementation}"]
+        if self.coarsening:
+            parts.append(f"coarsen={self.coarsening[0]}x{self.coarsening[1]}")
+        return " ".join(parts)
+
+
+def annotations_from_plan(plan: LayoutPlan) -> dict[str, LayerAnnotation]:
+    """Extract the conv/pool layout fields from a plan."""
+    out: dict[str, LayerAnnotation] = {}
+    for step in plan.steps:
+        if step.kind in (NodeKind.CONV, NodeKind.POOL) and step.layout is not None:
+            out[step.name] = LayerAnnotation(
+                layout=step.layout,
+                implementation=step.implementation,
+                coarsening=step.coarsening,
+            )
+    return out
+
+
+def format_annotated_netdef(
+    net: NetworkDef, annotations: dict[str, LayerAnnotation]
+) -> str:
+    """Serialize a network with its layout fields.
+
+    The output extends the plain text format with comment-marked annotation
+    lines, so un-annotated parsers still read the topology.
+    """
+    from .netdef import format_netdef
+
+    base_lines = format_netdef(net).splitlines()
+    out: list[str] = []
+    for line in base_lines:
+        out.append(line)
+        tokens = line.split()
+        if len(tokens) >= 2 and tokens[0] in ("conv", "pool"):
+            ann = annotations.get(tokens[1])
+            if ann is not None:
+                out.append(f"#@ {tokens[1]} {ann.encode()}")
+    return "\n".join(out) + "\n"
+
+
+def parse_annotated_netdef(
+    text: str,
+) -> tuple[NetworkDef, dict[str, LayerAnnotation]]:
+    """Parse a network plus its layout annotations."""
+    from .netdef import parse_netdef
+
+    annotations: dict[str, LayerAnnotation] = {}
+    plain_lines: list[str] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.startswith("#@"):
+            tokens = stripped[2:].split()
+            if len(tokens) < 2:
+                raise ValueError(f"line {line_no}: malformed annotation")
+            name, *kvs = tokens
+            fields = dict(kv.split("=", 1) for kv in kvs)
+            if "layout" not in fields or "impl" not in fields:
+                raise ValueError(
+                    f"line {line_no}: annotation needs layout= and impl="
+                )
+            coarsen = None
+            if "coarsen" in fields:
+                ux, uy = fields["coarsen"].split("x")
+                coarsen = (int(ux), int(uy))
+            annotations[name] = LayerAnnotation(
+                layout=parse_layout(fields["layout"]),
+                implementation=fields["impl"],
+                coarsening=coarsen,
+            )
+        else:
+            plain_lines.append(raw)
+    net = parse_netdef("\n".join(plain_lines))
+    known = {layer.name for layer in net.layers}
+    unknown = set(annotations) - known
+    if unknown:
+        raise ValueError(f"annotations for unknown layers: {sorted(unknown)}")
+    return net, annotations
+
+
+def plan_from_annotations(
+    plan_template: LayoutPlan, annotations: dict[str, LayerAnnotation]
+) -> LayoutPlan:
+    """Overlay stored annotations onto a freshly-computed plan skeleton.
+
+    Used when a network ships with baked-in layout fields: timings are
+    recomputed for the current device, but the layout/implementation
+    choices come from the annotations.
+    """
+    from dataclasses import replace as dc_replace
+
+    steps = []
+    for step in plan_template.steps:
+        ann = annotations.get(step.name)
+        if ann is None:
+            steps.append(step)
+            continue
+        steps.append(
+            dc_replace(
+                step,
+                layout=ann.layout,
+                implementation=ann.implementation,
+                coarsening=ann.coarsening,
+            )
+        )
+    return LayoutPlan(
+        steps=tuple(steps), device=plan_template.device, strategy="annotated"
+    )

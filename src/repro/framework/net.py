@@ -1,0 +1,264 @@
+"""Network resolution and numeric execution (the Caffe-analog runtime).
+
+:class:`Net` turns a :class:`~repro.framework.netdef.NetworkDef` into a
+chain of resolved layer specs (shape inference), exposes the chain to the
+layout planner, and can execute the network numerically with any layout
+plan — performing real relayouts at plan boundaries, exactly where the
+integrated framework would launch its transformation kernel.  Numeric
+results are plan-invariant, which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.planner import LayoutPlan, NodeKind, PlanNode
+from ..gpusim.device import DeviceSpec
+from ..gpusim.engine import SimulationEngine
+from ..layers.base import ConvSpec, FCSpec, PoolSpec, SoftmaxSpec
+from ..layers.conv import conv_forward, make_filters
+from ..layers.elementwise import (
+    LRNSpec,
+    lrn_forward,
+    make_lrn_kernel,
+    relu_forward,
+)
+from ..layers.fc import fc_forward, flatten_4d, make_fc_weights
+from ..layers.softmax import softmax_forward
+from ..tensors.layout import NCHW, DataLayout
+from ..tensors.tensor import Tensor4D
+from .netdef import ConvDef, FCDef, LayerDef, LRNDef, NetworkDef, PoolDef, SoftmaxDef
+
+
+@dataclass(frozen=True)
+class ResolvedLayer:
+    """A layer definition bound to concrete shapes."""
+
+    defn: LayerDef
+    kind: NodeKind
+    spec: object | None  # ConvSpec | PoolSpec | FCSpec | SoftmaxSpec | LRNSpec
+    in_dims: tuple[int, int, int, int] | None  # 4-D logical input, if any
+    out_dims: tuple[int, int, int, int] | None
+    out_features: int | None = None  # for fc/softmax (2-D data)
+
+    @property
+    def name(self) -> str:
+        return self.defn.name
+
+
+def resolve(net: NetworkDef) -> list[ResolvedLayer]:
+    """Shape-infer the whole stack.  Raises on inconsistent geometry."""
+    layers: list[ResolvedLayer] = []
+    dims: tuple[int, int, int, int] | None = (
+        net.batch,
+        net.in_channels,
+        net.in_h,
+        net.in_w,
+    )
+    features: int | None = None
+    for defn in net.layers:
+        if isinstance(defn, ConvDef):
+            if dims is None:
+                raise ValueError(f"{defn.name}: convolution after flattening")
+            n, c, h, w = dims
+            spec = ConvSpec(
+                n=n, ci=c, h=h, w=w, co=defn.co,
+                fh=defn.f, fw=defn.f, stride=defn.stride, pad=defn.pad,
+                groups=defn.groups,
+            )
+            out = (n, defn.co, spec.out_h, spec.out_w)
+            layers.append(ResolvedLayer(defn, NodeKind.CONV, spec, dims, out))
+            dims = out
+        elif isinstance(defn, PoolDef):
+            if dims is None:
+                raise ValueError(f"{defn.name}: pooling after flattening")
+            n, c, h, w = dims
+            spec = PoolSpec(
+                n=n, c=c, h=h, w=w, window=defn.window, stride=defn.stride, op=defn.op
+            )
+            out = (n, c, spec.out_h, spec.out_w)
+            layers.append(ResolvedLayer(defn, NodeKind.POOL, spec, dims, out))
+            dims = out
+        elif isinstance(defn, LRNDef):
+            if dims is None:
+                raise ValueError(f"{defn.name}: LRN after flattening")
+            layers.append(
+                ResolvedLayer(
+                    defn, NodeKind.ELEMENTWISE, LRNSpec(depth=defn.depth), dims, dims
+                )
+            )
+        elif isinstance(defn, FCDef):
+            if dims is not None:
+                n, c, h, w = dims
+                in_features = c * h * w
+                batch = n
+            else:
+                assert features is not None
+                in_features = features
+                batch = net.batch
+            spec = FCSpec(n=batch, in_features=in_features, out_features=defn.out_features)
+            layers.append(
+                ResolvedLayer(
+                    defn, NodeKind.CLASSIFIER, spec, dims, None,
+                    out_features=defn.out_features,
+                )
+            )
+            dims, features = None, defn.out_features
+        elif isinstance(defn, SoftmaxDef):
+            if features is None:
+                raise ValueError(f"{defn.name}: softmax needs a preceding FC layer")
+            spec = SoftmaxSpec(n=net.batch, categories=features)
+            layers.append(
+                ResolvedLayer(
+                    defn, NodeKind.CLASSIFIER, spec, None, None, out_features=features
+                )
+            )
+        else:  # pragma: no cover - closed union
+            raise TypeError(f"unknown layer def {type(defn)!r}")
+    return layers
+
+
+class Net:
+    """A resolved network: planner view + numeric execution."""
+
+    def __init__(self, definition: NetworkDef) -> None:
+        self.definition = definition
+        self.layers = resolve(definition)
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    # -- planner interface -------------------------------------------------
+    def planner_nodes(self, device: DeviceSpec) -> list[PlanNode]:
+        """The layer chain as the layout planner consumes it."""
+        engine = SimulationEngine(device, check_memory=False)
+        nodes: list[PlanNode] = []
+        for layer in self.layers:
+            if layer.kind in (NodeKind.CONV, NodeKind.POOL):
+                nodes.append(
+                    PlanNode(layer.name, layer.kind, layer.spec, in_dims=layer.in_dims)
+                )
+            elif layer.kind is NodeKind.ELEMENTWISE:
+                assert layer.in_dims is not None
+                elements = int(np.prod(layer.in_dims))
+                assert isinstance(layer.spec, LRNSpec)
+                ms = engine.run(make_lrn_kernel(elements, layer.spec)).time_ms
+                nodes.append(
+                    PlanNode(
+                        layer.name, layer.kind, None, fixed_ms=ms, in_dims=layer.in_dims
+                    )
+                )
+            else:  # CLASSIFIER
+                spec = layer.spec
+                if isinstance(spec, FCSpec):
+                    from ..layers.fc import make_fc_kernel
+
+                    ms = engine.run(make_fc_kernel(spec)).time_ms
+                    nodes.append(
+                        PlanNode(layer.name, layer.kind, None, fixed_ms=ms,
+                                 in_dims=layer.in_dims)
+                    )
+                else:
+                    nodes.append(
+                        PlanNode(layer.name, layer.kind, spec, in_dims=None)
+                    )
+        return nodes
+
+    # -- numeric execution -------------------------------------------------
+    def init_weights(self, seed: int = 0) -> dict[str, object]:
+        """Seeded parameters for every parameterized layer."""
+        weights: dict[str, object] = {}
+        for i, layer in enumerate(self.layers):
+            if isinstance(layer.spec, ConvSpec):
+                weights[layer.name] = make_filters(layer.spec, seed=seed + i + 1)
+            elif isinstance(layer.spec, FCSpec):
+                weights[layer.name] = make_fc_weights(layer.spec, seed=seed + i + 1)
+        return weights
+
+    def make_input(self, seed: int = 0, layout: DataLayout = NCHW) -> Tensor4D:
+        d = self.definition
+        rng = np.random.default_rng(seed)
+        logical = rng.standard_normal(
+            (d.batch, d.in_channels, d.in_h, d.in_w)
+        ).astype(np.float32)
+        return Tensor4D.from_nchw(logical, layout)
+
+    def forward(
+        self,
+        x: Tensor4D,
+        weights: dict[str, object] | None = None,
+        plan: LayoutPlan | None = None,
+    ) -> np.ndarray:
+        """Run the network numerically; returns the softmax/FC output.
+
+        With a plan, conv/pool layers execute in their planned layout and
+        real relayouts happen at the boundaries (the numeric twin of the
+        runtime transformation insertion of Section IV.D).
+        """
+        weights = weights if weights is not None else self.init_weights()
+        steps = {s.name: s for s in plan.steps} if plan is not None else {}
+        current: Tensor4D | np.ndarray = x
+        for layer in self.layers:
+            step = steps.get(layer.name)
+            if layer.kind in (NodeKind.CONV, NodeKind.POOL):
+                assert isinstance(current, Tensor4D)
+                target = step.layout if step and step.layout else current.layout
+                if target != current.layout:
+                    current = current.to_layout(target)
+                if layer.kind is NodeKind.CONV:
+                    assert isinstance(layer.spec, ConvSpec)
+                    impl = _numeric_conv_impl(step.implementation if step else "direct")
+                    current = conv_forward(current, weights[layer.name], layer.spec, impl)
+                    if isinstance(layer.defn, ConvDef) and layer.defn.relu:
+                        current = Tensor4D.from_nchw(
+                            relu_forward(current.as_nchw()), current.layout
+                        )
+                else:
+                    assert isinstance(layer.spec, PoolSpec)
+                    coarsen = step.coarsening if step else None
+                    from ..layers.pooling import pool_forward
+
+                    current = pool_forward(current, layer.spec, coarsen=coarsen)
+            elif layer.kind is NodeKind.ELEMENTWISE:
+                assert isinstance(current, Tensor4D)
+                assert isinstance(layer.spec, LRNSpec)
+                current = Tensor4D.from_nchw(
+                    lrn_forward(current.as_nchw(), layer.spec), current.layout
+                )
+            else:  # classifier
+                spec = layer.spec
+                if isinstance(spec, FCSpec):
+                    data = (
+                        flatten_4d(current.as_nchw())
+                        if isinstance(current, Tensor4D)
+                        else current
+                    )
+                    w, b = weights[layer.name]
+                    data = fc_forward(data, w, b)
+                    if isinstance(layer.defn, FCDef) and layer.defn.relu:
+                        data = relu_forward(data)
+                    current = data
+                else:
+                    assert isinstance(spec, SoftmaxSpec)
+                    assert isinstance(current, np.ndarray)
+                    current = softmax_forward(current, spec, fused=True)
+        if isinstance(current, Tensor4D):
+            return current.as_nchw()
+        return current
+
+
+def _numeric_conv_impl(plan_impl: str) -> str:
+    """Map a planner implementation name to a numeric conv implementation."""
+    if plan_impl.startswith("fft"):
+        return "fft"
+    if plan_impl == "im2col":
+        return "im2col"
+    return "direct"
+
+
+def build_net(definition: NetworkDef) -> Net:
+    """Convenience constructor."""
+    return Net(definition)

@@ -1,0 +1,201 @@
+"""Network definitions: a Caffe-style layer-stack description.
+
+"In the deep learning frameworks such as Caffe or cuda-convnet, each CNN
+has a configuration file that defines a network structure by specifying a
+stack of various layers" (Section IV.D).  :class:`NetworkDef` is that
+configuration; :func:`parse_netdef` / :func:`format_netdef` read and write a
+small prototxt-like text form.  The paper's data-layout support adds one
+field per conv/pool layer — the chosen layout — which here lives in the
+*plan* (``repro.core.planner``), keeping definitions layout-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class ConvDef:
+    """A convolution layer (output maps, square filter, stride, padding,
+    channel groups)."""
+
+    name: str
+    co: int
+    f: int
+    stride: int = 1
+    pad: int = 0
+    relu: bool = True
+    groups: int = 1
+
+
+@dataclass(frozen=True)
+class PoolDef:
+    """A pooling layer (square window)."""
+
+    name: str
+    window: int
+    stride: int
+    op: str = "max"
+
+
+@dataclass(frozen=True)
+class LRNDef:
+    """AlexNet-style local response normalization."""
+
+    name: str
+    depth: int = 5
+
+
+@dataclass(frozen=True)
+class FCDef:
+    """A fully-connected layer; flattens 4-D input if needed."""
+
+    name: str
+    out_features: int
+    relu: bool = True
+
+
+@dataclass(frozen=True)
+class SoftmaxDef:
+    """The final classifier layer."""
+
+    name: str
+
+
+LayerDef = Union[ConvDef, PoolDef, LRNDef, FCDef, SoftmaxDef]
+
+
+@dataclass(frozen=True)
+class NetworkDef:
+    """A complete network: input geometry plus an ordered layer stack."""
+
+    name: str
+    batch: int
+    in_channels: int
+    in_h: int
+    in_w: int
+    layers: tuple[LayerDef, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if min(self.batch, self.in_channels, self.in_h, self.in_w) <= 0:
+            raise ValueError("network input dims must be positive")
+        names = [layer.name for layer in self.layers]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate layer names in {self.name}: {names}")
+
+    def with_batch(self, batch: int) -> "NetworkDef":
+        return NetworkDef(
+            self.name, batch, self.in_channels, self.in_h, self.in_w, self.layers
+        )
+
+
+def format_netdef(net: NetworkDef) -> str:
+    """Serialize to the text form accepted by :func:`parse_netdef`."""
+    lines = [
+        f"network {net.name} batch={net.batch} "
+        f"input={net.in_channels}x{net.in_h}x{net.in_w}"
+    ]
+    for layer in net.layers:
+        if isinstance(layer, ConvDef):
+            lines.append(
+                f"conv {layer.name} co={layer.co} f={layer.f} "
+                f"stride={layer.stride} pad={layer.pad} relu={int(layer.relu)} "
+                f"groups={layer.groups}"
+            )
+        elif isinstance(layer, PoolDef):
+            lines.append(
+                f"pool {layer.name} window={layer.window} stride={layer.stride} "
+                f"op={layer.op}"
+            )
+        elif isinstance(layer, LRNDef):
+            lines.append(f"lrn {layer.name} depth={layer.depth}")
+        elif isinstance(layer, FCDef):
+            lines.append(
+                f"fc {layer.name} out={layer.out_features} relu={int(layer.relu)}"
+            )
+        elif isinstance(layer, SoftmaxDef):
+            lines.append(f"softmax {layer.name}")
+        else:  # pragma: no cover - union is closed
+            raise TypeError(f"unknown layer type {type(layer)!r}")
+    return "\n".join(lines) + "\n"
+
+
+def _kv(tokens: list[str], line_no: int) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise ValueError(f"line {line_no}: expected key=value, got {tok!r}")
+        key, value = tok.split("=", 1)
+        out[key] = value
+    return out
+
+
+def parse_netdef(text: str) -> NetworkDef:
+    """Parse the text form.  Unknown keys and layer kinds raise ValueError."""
+    header: NetworkDef | None = None
+    layers: list[LayerDef] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        kind, *rest = line.split()
+        if kind == "network":
+            if header is not None:
+                raise ValueError(f"line {line_no}: duplicate network header")
+            name, *tokens = rest
+            kv = _kv(tokens, line_no)
+            c, h, w = (int(v) for v in kv["input"].split("x"))
+            header = NetworkDef(
+                name=name, batch=int(kv["batch"]), in_channels=c, in_h=h, in_w=w
+            )
+            continue
+        if header is None:
+            raise ValueError(f"line {line_no}: layer before network header")
+        name, *tokens = rest
+        kv = _kv(tokens, line_no)
+        if kind == "conv":
+            layers.append(
+                ConvDef(
+                    name=name,
+                    co=int(kv["co"]),
+                    f=int(kv["f"]),
+                    stride=int(kv.get("stride", 1)),
+                    pad=int(kv.get("pad", 0)),
+                    relu=bool(int(kv.get("relu", 1))),
+                    groups=int(kv.get("groups", 1)),
+                )
+            )
+        elif kind == "pool":
+            layers.append(
+                PoolDef(
+                    name=name,
+                    window=int(kv["window"]),
+                    stride=int(kv["stride"]),
+                    op=kv.get("op", "max"),
+                )
+            )
+        elif kind == "lrn":
+            layers.append(LRNDef(name=name, depth=int(kv.get("depth", 5))))
+        elif kind == "fc":
+            layers.append(
+                FCDef(
+                    name=name,
+                    out_features=int(kv["out"]),
+                    relu=bool(int(kv.get("relu", 1))),
+                )
+            )
+        elif kind == "softmax":
+            layers.append(SoftmaxDef(name=name))
+        else:
+            raise ValueError(f"line {line_no}: unknown layer kind {kind!r}")
+    if header is None:
+        raise ValueError("missing network header line")
+    return NetworkDef(
+        header.name,
+        header.batch,
+        header.in_channels,
+        header.in_h,
+        header.in_w,
+        tuple(layers),
+    )

@@ -1,0 +1,111 @@
+"""Warp-level GPU memory-hierarchy simulator.
+
+This package is the hardware substrate of the reproduction: device specs for
+the paper's GPUs, a coalescing unit, a set-associative L2, a shared-memory
+bank-conflict model, an occupancy calculator, and an analytic
+``max(compute, memory)`` timing model with latency-bound and launch-overhead
+terms.  Everything above it (layers, transforms, planners) expresses kernels
+as :class:`KernelModel` objects and asks :class:`SimulationEngine` for time.
+"""
+
+from .cache import CacheStats, SetAssociativeCache, unique_line_hits
+from .coalescing import (
+    CoalescingReport,
+    analyze_warps,
+    strided_pattern,
+    warp_transactions,
+)
+from .device import (
+    TITAN_BLACK,
+    TITAN_X,
+    ArchProfile,
+    DeviceSpec,
+    get_device,
+    list_devices,
+    register_device,
+)
+from .dram import MemoryServiceTimes, memory_service_time
+from .engine import (
+    GpuOutOfMemoryError,
+    SequenceStats,
+    SimulationEngine,
+    simulate,
+)
+from .kernel import ComposedKernel, KernelModel, LaunchConfig, MemoryProfile
+from .occupancy import Occupancy, compute_occupancy, latency_hiding_factor
+from .reporting import (
+    RooflinePoint,
+    comparison_table,
+    kernel_report,
+    roofline_point,
+)
+from .rowbuffer import (
+    DramGeometry,
+    RowBufferStats,
+    analyze_row_locality,
+    stream_addresses,
+)
+from .sharedmem import (
+    BankConflictReport,
+    analyze_shared_access,
+    conflict_degree,
+    tile_column_access,
+)
+from .timing import KernelStats, time_kernel, time_model
+from .trace import (
+    TraceResult,
+    analyze_trace,
+    sample_indices,
+    transactions_for_stride,
+    warps_from_threads,
+)
+
+__all__ = [
+    "ArchProfile",
+    "BankConflictReport",
+    "CacheStats",
+    "CoalescingReport",
+    "ComposedKernel",
+    "DeviceSpec",
+    "DramGeometry",
+    "GpuOutOfMemoryError",
+    "KernelModel",
+    "KernelStats",
+    "LaunchConfig",
+    "MemoryProfile",
+    "MemoryServiceTimes",
+    "Occupancy",
+    "RooflinePoint",
+    "RowBufferStats",
+    "SequenceStats",
+    "SetAssociativeCache",
+    "SimulationEngine",
+    "TITAN_BLACK",
+    "TITAN_X",
+    "TraceResult",
+    "analyze_row_locality",
+    "analyze_shared_access",
+    "analyze_trace",
+    "analyze_warps",
+    "comparison_table",
+    "compute_occupancy",
+    "conflict_degree",
+    "get_device",
+    "kernel_report",
+    "latency_hiding_factor",
+    "list_devices",
+    "memory_service_time",
+    "register_device",
+    "roofline_point",
+    "sample_indices",
+    "simulate",
+    "stream_addresses",
+    "strided_pattern",
+    "tile_column_access",
+    "time_kernel",
+    "time_model",
+    "transactions_for_stride",
+    "unique_line_hits",
+    "warp_transactions",
+    "warps_from_threads",
+]

@@ -1,0 +1,109 @@
+"""SM occupancy calculator.
+
+Occupancy — resident warps per SM relative to the hardware maximum — governs
+how well memory latency is hidden.  The paper's softmax analysis ("the
+parallelism of the outer loop is not enough for GPUs to hide instruction
+latency ... the number of threads for the kernel is only 128") is an
+occupancy/latency argument, and the pooling auto-tuner trades register
+pressure (lower occupancy) against register reuse (less traffic).  This
+module computes the standard CUDA occupancy limits from a launch
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, prod
+
+from .device import DeviceSpec
+from .kernel import LaunchConfig
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy for one kernel launch on one device."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    active_warps_per_sm: int
+    max_warps_per_sm: int
+    limiter: str
+    total_threads: int
+    waves: float
+    active_lane_fraction: float = 1.0
+
+    @property
+    def fraction(self) -> float:
+        """Occupancy as a fraction of the device maximum (0..1]."""
+        return self.active_warps_per_sm / self.max_warps_per_sm
+
+
+def compute_occupancy(device: DeviceSpec, launch: LaunchConfig) -> Occupancy:
+    """Derive occupancy limits for a launch the way the CUDA calculator does.
+
+    Considers the four classical limiters: threads/SM, blocks/SM, registers,
+    and shared memory.  Returns the binding limiter name for diagnostics.
+    """
+    threads_per_block = prod(launch.block)
+    if threads_per_block <= 0:
+        raise ValueError("block must contain at least one thread")
+    if threads_per_block > 1024:
+        raise ValueError(f"block of {threads_per_block} threads exceeds 1024")
+    warps_per_block = ceil(threads_per_block / device.warp_size)
+
+    limits: dict[str, int] = {
+        "threads": device.max_threads_per_sm // threads_per_block,
+        "blocks": device.max_blocks_per_sm,
+    }
+    regs_per_block = launch.regs_per_thread * threads_per_block
+    if regs_per_block:
+        limits["registers"] = device.regs_per_sm // regs_per_block
+    if launch.smem_per_block:
+        if launch.smem_per_block > device.smem_per_block_max:
+            raise ValueError(
+                f"block requests {launch.smem_per_block} B shared memory, "
+                f"device max is {device.smem_per_block_max} B"
+            )
+        limits["shared_memory"] = device.smem_per_sm // launch.smem_per_block
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks_per_sm = limits[limiter]
+    # The warps/SM cap can shave the block count further.
+    if blocks_per_sm * warps_per_block > device.max_warps_per_sm:
+        blocks_per_sm = device.max_warps_per_sm // warps_per_block
+        limiter = "warps"
+    active_warps = blocks_per_sm * warps_per_block
+
+    total_blocks = prod(launch.grid)
+    total_threads = total_blocks * threads_per_block
+    concurrent_blocks = max(1, blocks_per_sm) * device.sm_count
+    waves = total_blocks / concurrent_blocks
+
+    return Occupancy(
+        blocks_per_sm=blocks_per_sm,
+        warps_per_block=warps_per_block,
+        active_warps_per_sm=active_warps,
+        max_warps_per_sm=device.max_warps_per_sm,
+        limiter=limiter,
+        total_threads=total_threads,
+        waves=waves,
+        active_lane_fraction=launch.active_lane_fraction,
+    )
+
+
+def latency_hiding_factor(device: DeviceSpec, occ: Occupancy) -> float:
+    """Fraction of peak DRAM bandwidth sustainable at this occupancy.
+
+    Bandwidth saturates once ``bw_warp_saturation`` warps are resident per SM
+    (a Little's-law style model); below that it degrades linearly.  A kernel
+    whose whole grid does not fill one wave is additionally limited by how
+    many warps it launches at all.
+    """
+    if occ.blocks_per_sm == 0:
+        return 0.0
+    sat = device.arch.bw_warp_saturation
+    launched_warps_per_sm = occ.total_threads / (device.warp_size * device.sm_count)
+    resident = min(occ.active_warps_per_sm, max(1.0, launched_warps_per_sm))
+    # Predicated-off lanes issue no requests: a warp with 6 of 32 lanes
+    # active contributes proportionally less memory-level parallelism.
+    resident *= occ.active_lane_fraction
+    return min(1.0, resident / sat)

@@ -1,0 +1,95 @@
+"""Human-readable reports over simulated kernel statistics.
+
+The paper argues from profiler counters (achieved bandwidth, ALU
+utilization, DRAM transactions); this module renders the simulator's
+equivalent counters the same way, plus a classic roofline placement so the
+compute-vs-memory-bound story of each kernel is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .timing import KernelStats
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on the device's roofline."""
+
+    arithmetic_intensity: float  # flops per DRAM byte
+    achieved_gflops: float
+    roof_gflops: float  # min(peak, intensity * bandwidth)
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the attainable roof actually achieved."""
+        return self.achieved_gflops / self.roof_gflops if self.roof_gflops else 0.0
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when the roof at this intensity is the bandwidth slope
+        rather than the compute ceiling."""
+        return self.roof_gflops < self._peak
+
+    # the device's compute ceiling, set by :func:`roofline_point`
+    _peak: float = 0.0
+
+
+def roofline_point(device: DeviceSpec, stats: KernelStats) -> RooflinePoint:
+    """Place a kernel on ``device``'s roofline."""
+    intensity = stats.flops / stats.dram_bytes if stats.dram_bytes else float("inf")
+    slope_roof = intensity * device.mem_bandwidth_gbs  # GFLOPS at this intensity
+    roof = min(device.peak_gflops, slope_roof)
+    return RooflinePoint(
+        arithmetic_intensity=intensity,
+        achieved_gflops=stats.achieved_gflops,
+        roof_gflops=roof,
+        _peak=device.peak_gflops,
+    )
+
+
+def kernel_report(device: DeviceSpec, stats: KernelStats) -> str:
+    """Multi-line profiler-style report for one kernel."""
+    occ = stats.occupancy
+    point = roofline_point(device, stats)
+    lines = [
+        f"kernel {stats.name!r} on {stats.device}",
+        f"  time          : {stats.time_ms:10.4f} ms "
+        f"(compute {stats.compute_ms:.4f} | memory {stats.memory_ms:.4f} | "
+        f"launch {stats.launch_ms:.4f})",
+        f"  bound by      : {stats.bound}",
+        f"  occupancy     : {occ.active_warps_per_sm}/{occ.max_warps_per_sm} "
+        f"warps/SM ({occ.fraction:.0%}), limiter: {occ.limiter}, "
+        f"waves: {occ.waves:.1f}",
+        f"  DRAM traffic  : {stats.dram_bytes / 2**20:10.2f} MiB "
+        f"({stats.achieved_bandwidth_gbs:.1f} GB/s achieved, "
+        f"{stats.effective_bandwidth_gbs:.1f} GB/s effective)",
+        f"  transactions  : {stats.transactions:,.0f}",
+        f"  arithmetic    : {stats.flops / 1e9:10.2f} GFLOP at "
+        f"{stats.achieved_gflops:.0f} GFLOPS "
+        f"(ALU utilization {stats.alu_utilization:.1%})",
+        f"  roofline      : intensity {point.arithmetic_intensity:.2f} flop/B, "
+        f"roof {point.roof_gflops:.0f} GFLOPS, "
+        f"{point.efficiency:.0%} of attainable",
+    ]
+    return "\n".join(lines)
+
+
+def comparison_table(
+    device: DeviceSpec, entries: list[tuple[str, KernelStats]]
+) -> str:
+    """Side-by-side table for several kernels (e.g. one layer, all impls)."""
+    header = (
+        f"{'variant':22s} {'time(ms)':>10s} {'bound':>18s} {'GFLOPS':>8s} "
+        f"{'GB/s':>7s} {'occ':>5s}"
+    )
+    rows = [header, "-" * len(header)]
+    for label, stats in entries:
+        rows.append(
+            f"{label:22s} {stats.time_ms:10.4f} {stats.bound:>18s} "
+            f"{stats.achieved_gflops:8.0f} {stats.achieved_bandwidth_gbs:7.1f} "
+            f"{stats.occupancy.fraction:5.0%}"
+        )
+    return "\n".join(rows)

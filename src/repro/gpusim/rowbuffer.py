@@ -1,0 +1,113 @@
+"""DRAM row-buffer model.
+
+The top-level timing folds DRAM behaviour into an effective-bandwidth
+constant (235 GB/s on the Titan Black); this module opens that box one
+level for analysis: GDDR5 stripes 32-byte transactions across channels and
+banks, and each bank serves a *row* (page) at a time — streaming through
+open rows is cheap, hopping rows pays precharge + activate.
+
+Used by the microscope example and the row-locality ablation to show *why*
+the naive transform's scattered stores underperform even at equal
+transaction counts: they break row locality on top of wasting bus bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """A GDDR5-style memory system (Titan Black defaults)."""
+
+    channels: int = 6
+    banks_per_channel: int = 16
+    row_bytes: int = 2048
+    burst_bytes: int = 32
+    #: service cycles (memory clock) for a row-buffer hit / miss
+    t_hit: int = 4
+    t_miss: int = 24
+
+    def __post_init__(self) -> None:
+        if min(
+            self.channels, self.banks_per_channel, self.row_bytes, self.burst_bytes
+        ) <= 0:
+            raise ValueError("geometry values must be positive")
+        if self.row_bytes % self.burst_bytes:
+            raise ValueError("row size must be a multiple of the burst size")
+
+    def map_address(self, addr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(global bank id, row id) for each byte address.
+
+        Channel interleave at burst granularity (consecutive bursts hit
+        consecutive channels), bank interleave at row granularity.
+        """
+        burst = addr // self.burst_bytes
+        channel = burst % self.channels
+        # within a channel, bursts advance through a row before switching
+        chan_burst = burst // self.channels
+        bursts_per_row = self.row_bytes // self.burst_bytes
+        row_seq = chan_burst // bursts_per_row
+        bank = row_seq % self.banks_per_channel
+        row = row_seq // self.banks_per_channel
+        return channel * self.banks_per_channel + bank, row
+
+
+@dataclass(frozen=True)
+class RowBufferStats:
+    """Row-buffer behaviour of one transaction stream."""
+
+    accesses: int
+    hits: int
+    service_cycles: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def cycles_per_access(self) -> float:
+        return self.service_cycles / self.accesses if self.accesses else 0.0
+
+    def bandwidth_fraction(self, geometry: DramGeometry) -> float:
+        """Sustained fraction of the all-hits streaming bandwidth."""
+        if not self.accesses:
+            return 0.0
+        return geometry.t_hit / self.cycles_per_access
+
+
+def analyze_row_locality(
+    addresses: np.ndarray, geometry: DramGeometry = DramGeometry()
+) -> RowBufferStats:
+    """Replay a transaction-address stream against open-row state.
+
+    Each bank keeps one open row; an access hits if its row matches the
+    bank's open row, otherwise it pays the miss penalty and opens the row.
+    Vectorized per bank (the per-bank streams are order-preserving slices
+    of the global stream).
+    """
+    addr = np.asarray(addresses, dtype=np.int64).ravel()
+    if addr.size and addr.min() < 0:
+        raise ValueError("addresses must be non-negative")
+    if addr.size == 0:
+        return RowBufferStats(accesses=0, hits=0, service_cycles=0)
+    bank, row = geometry.map_address(addr)
+    # Stable sort by bank keeps each bank's accesses in stream order.
+    order = np.argsort(bank, kind="stable")
+    b_sorted = bank[order]
+    r_sorted = row[order]
+    first_of_bank = np.concatenate([[True], b_sorted[1:] != b_sorted[:-1]])
+    same_row = np.concatenate([[False], r_sorted[1:] == r_sorted[:-1]])
+    hits = int((same_row & ~first_of_bank).sum())
+    misses = addr.size - hits
+    cycles = hits * geometry.t_hit + misses * geometry.t_miss
+    return RowBufferStats(accesses=int(addr.size), hits=hits, service_cycles=cycles)
+
+
+def stream_addresses(nbytes: int, geometry: DramGeometry = DramGeometry()) -> np.ndarray:
+    """A perfectly sequential transaction stream (the best case)."""
+    if nbytes <= 0:
+        raise ValueError("nbytes must be positive")
+    return np.arange(0, nbytes, geometry.burst_bytes, dtype=np.int64)

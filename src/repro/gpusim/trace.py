@@ -1,0 +1,132 @@
+"""Address-trace utilities: turn per-thread addresses into per-warp arrays.
+
+Kernel models for the memory-bound layers (pooling, softmax, the layout
+transforms) generate the byte addresses their threads touch; these helpers
+reshape the flat per-thread streams into the ``(warps, lanes)`` arrays the
+coalescing unit consumes, and sample blocks so that large grids stay cheap
+to analyse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cache import SetAssociativeCache
+from .coalescing import CoalescingReport, analyze_warps, warp_transactions
+from .device import DeviceSpec
+
+
+def warps_from_threads(
+    thread_addresses: np.ndarray, warp_size: int = 32
+) -> np.ndarray:
+    """Group a flat per-thread address array into warps.
+
+    ``thread_addresses`` is 1-D in thread-id order (lane 0 of warp 0 first);
+    the tail is padded with -1 (inactive lanes).  2-D input is interpreted
+    as per-thread *sequences*: shape ``(threads, accesses)`` becomes
+    ``(warps * accesses, warp_size)`` — one warp-instruction per column.
+    """
+    addr = np.asarray(thread_addresses, dtype=np.int64)
+    if addr.ndim == 1:
+        pad = (-addr.size) % warp_size
+        if pad:
+            addr = np.concatenate([addr, np.full(pad, -1, dtype=np.int64)])
+        return addr.reshape(-1, warp_size)
+    if addr.ndim == 2:
+        threads, accesses = addr.shape
+        pad = (-threads) % warp_size
+        if pad:
+            addr = np.concatenate(
+                [addr, np.full((pad, accesses), -1, dtype=np.int64)], axis=0
+            )
+        # (warps, warp_size, accesses) -> (warps*accesses, warp_size)
+        grouped = addr.reshape(-1, warp_size, accesses)
+        return np.ascontiguousarray(np.moveaxis(grouped, 2, 1)).reshape(-1, warp_size)
+    raise ValueError(f"expected 1-D or 2-D addresses, got shape {addr.shape}")
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Coalescing + locality summary of a sampled address trace."""
+
+    coalescing: CoalescingReport
+    l2_hit_rate: float
+    sampled_fraction: float
+
+    def scale(self) -> float:
+        """Factor to extrapolate sampled counters to the full kernel."""
+        return 1.0 / self.sampled_fraction if self.sampled_fraction else 1.0
+
+
+def analyze_trace(
+    warp_addresses: np.ndarray,
+    device: DeviceSpec,
+    access_bytes: int = 4,
+    sampled_fraction: float = 1.0,
+    use_l2: bool = True,
+    max_l2_transactions: int = 200_000,
+) -> TraceResult:
+    """Run a ``(warps, lanes)`` load trace through coalescing and the L2.
+
+    The L2 pass replays the post-coalescing transaction stream through the
+    set-associative model; when the stream is longer than
+    ``max_l2_transactions`` a contiguous window is used, which preserves the
+    short-reuse-distance hits that matter (cross-warp window overlap) while
+    keeping simulation cheap.
+    """
+    report = analyze_warps(warp_addresses, device, access_bytes)
+    hit_rate = 0.0
+    if use_l2 and report.transactions:
+        seg = device.transaction_bytes
+        addr = np.asarray(warp_addresses, dtype=np.int64)
+        active = addr >= 0
+        # Rebuild the transaction stream: unique segments per warp, in warp
+        # order (the order the memory system sees them).
+        segments = np.where(active, addr // seg, np.int64(-1))
+        stream: list[np.ndarray] = []
+        total = 0
+        for w in range(segments.shape[0]):
+            row = np.unique(segments[w][segments[w] >= 0])
+            stream.append(row * seg)
+            total += row.size
+            if total >= max_l2_transactions:
+                break
+        flat = np.concatenate(stream) if stream else np.empty(0, dtype=np.int64)
+        if flat.size:
+            l2 = SetAssociativeCache.l2_for(device)
+            hits = l2.access_stream(flat)
+            hit_rate = float(hits.mean())
+    return TraceResult(
+        coalescing=report, l2_hit_rate=hit_rate, sampled_fraction=sampled_fraction
+    )
+
+
+def sample_indices(total: int, max_samples: int, rng_seed: int = 0) -> np.ndarray:
+    """Deterministically choose up to ``max_samples`` indices out of ``total``.
+
+    Uses an evenly spaced stride so that sampled blocks cover the whole
+    iteration space (important when edge blocks have partial warps).
+    """
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if total <= max_samples:
+        return np.arange(total, dtype=np.int64)
+    step = total / max_samples
+    return (np.arange(max_samples, dtype=np.float64) * step).astype(np.int64)
+
+
+def transactions_for_stride(
+    device: DeviceSpec, lanes: int, stride_bytes: int, access_bytes: int = 4
+) -> float:
+    """Closed-form transactions for one warp access with a constant stride.
+
+    Convenience for analytic models; cross-checked against the traced
+    coalescing unit in the test suite.
+    """
+    if lanes <= 0:
+        return 0.0
+    lanes_idx = np.arange(device.warp_size, dtype=np.int64)
+    addr = np.where(lanes_idx < lanes, lanes_idx * stride_bytes, -1)
+    return float(warp_transactions(addr[None, :], device, access_bytes)[0])

@@ -1,0 +1,222 @@
+"""Numeric backward passes for every layer.
+
+The paper's footnote 1: "The same data structure and convolution operation
+are used in both the forward pass and backward pass for testing and training
+CNNs" — layout decisions therefore apply to training as well.  This module
+provides the exact gradients; every function is verified against central
+finite differences in the test suite.
+
+All arrays are logical (N, C, H, W) / (N, F); layout handling stays in the
+framework layer, exactly as in the forward path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ConvSpec, PoolSpec, SoftmaxSpec
+from .elementwise import LRNSpec
+from .pooling import _window_view  # shared clipped-window machinery
+from .softmax import softmax_fused
+
+_F = np.float32
+
+
+# --------------------------------------------------------------------------
+# convolution
+# --------------------------------------------------------------------------
+def conv_backward(
+    x: np.ndarray, weights: np.ndarray, dout: np.ndarray, spec: ConvSpec
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gradients of Equation 1: returns (dx, dweights).
+
+    Mirrors the tap-at-a-time structure of ``conv_direct``: the backward
+    pass walks the same (fh, fw) loop, scattering into the padded input
+    gradient and reducing into the filter gradient.  Grouped convolutions
+    backpropagate one channel slice per group.
+    """
+    if spec.groups > 1:
+        g = spec.groups
+        sub = spec.group_spec()
+        ci_g, co_g = spec.ci // g, spec.co // g
+        dxs, dws = [], []
+        for k in range(g):
+            dx_k, dw_k = conv_backward(
+                np.ascontiguousarray(np.asarray(x)[:, k * ci_g : (k + 1) * ci_g]),
+                np.ascontiguousarray(
+                    np.asarray(weights)[k * co_g : (k + 1) * co_g]
+                ),
+                np.ascontiguousarray(
+                    np.asarray(dout)[:, k * co_g : (k + 1) * co_g]
+                ),
+                sub,
+            )
+            dxs.append(dx_k)
+            dws.append(dw_k)
+        return np.concatenate(dxs, axis=1), np.concatenate(dws, axis=0)
+    x = np.asarray(x, dtype=_F)
+    weights = np.asarray(weights, dtype=_F)
+    dout = np.asarray(dout, dtype=np.float64)
+    expect = (spec.n, spec.co, spec.out_h, spec.out_w)
+    if dout.shape != expect:
+        raise ValueError(f"dout shape {dout.shape} != {expect}")
+    p, s = spec.pad, spec.stride
+    xp = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p))).astype(np.float64)
+    dxp = np.zeros_like(xp)
+    dw = np.zeros((spec.co, spec.ci // spec.groups, spec.fh, spec.fw), dtype=np.float64)
+    ho, wo = spec.out_h, spec.out_w
+    for fh in range(spec.fh):
+        for fw in range(spec.fw):
+            patch = xp[:, :, fh : fh + (ho - 1) * s + 1 : s, fw : fw + (wo - 1) * s + 1 : s]
+            # dW[o, c, fh, fw] = sum_n,hw dout[n,o,hw] * patch[n,c,hw]
+            dw[:, :, fh, fw] = np.einsum("nohw,nchw->oc", dout, patch, optimize=True)
+            # dX gets each tap's contribution scattered back.
+            dxp[
+                :, :, fh : fh + (ho - 1) * s + 1 : s, fw : fw + (wo - 1) * s + 1 : s
+            ] += np.einsum("nohw,oc->nchw", dout, weights[:, :, fh, fw], optimize=True)
+    dx = dxp[:, :, p : p + spec.h, p : p + spec.w] if p else dxp
+    return dx.astype(_F), dw.astype(_F)
+
+
+# --------------------------------------------------------------------------
+# pooling
+# --------------------------------------------------------------------------
+def pool_backward(
+    x: np.ndarray, dout: np.ndarray, spec: PoolSpec
+) -> np.ndarray:
+    """Gradient of ceil-mode pooling.
+
+    Max pooling routes each output's gradient to the first maximal element
+    of its (clipped) window, Caffe-style; average pooling distributes it
+    over the window's valid elements.
+    """
+    x = np.asarray(x, dtype=_F)
+    dout = np.asarray(dout, dtype=np.float64)
+    expect = (spec.n, spec.c, spec.out_h, spec.out_w)
+    if dout.shape != expect:
+        raise ValueError(f"dout shape {dout.shape} != {expect}")
+    taps = [(oy, ox) for oy in range(spec.window) for ox in range(spec.window)]
+    planes = np.stack([_window_view(x, spec, oy, ox) for oy, ox in taps])
+    dx = np.zeros((spec.n, spec.c, spec.h, spec.w), dtype=np.float64)
+
+    if spec.op == "max":
+        with np.errstate(invalid="ignore"):
+            winner = np.nanargmax(planes, axis=0)  # first max wins ties
+        grads = [np.where(winner == t, dout, 0.0) for t in range(len(taps))]
+    else:
+        valid = ~np.isnan(planes)
+        counts = valid.sum(axis=0)
+        share = dout / counts
+        grads = [np.where(valid[t], share, 0.0) for t in range(len(taps))]
+
+    s = spec.stride
+    for t, (oy, ox) in enumerate(taps):
+        g = grads[t]
+        h_valid = min(spec.out_h, -(-(spec.h - oy) // s))
+        w_valid = min(spec.out_w, -(-(spec.w - ox) // s))
+        if h_valid <= 0 or w_valid <= 0:
+            continue
+        dx[
+            :, :, oy : oy + (h_valid - 1) * s + 1 : s, ox : ox + (w_valid - 1) * s + 1 : s
+        ] += g[:, :, :h_valid, :w_valid]
+    return dx.astype(_F)
+
+
+# --------------------------------------------------------------------------
+# softmax / cross-entropy
+# --------------------------------------------------------------------------
+def softmax_backward(
+    probs: np.ndarray, dout: np.ndarray, spec: SoftmaxSpec
+) -> np.ndarray:
+    """Jacobian-vector product of softmax: dx = p * (dy - sum(dy * p))."""
+    p = np.asarray(probs, dtype=np.float64)
+    dy = np.asarray(dout, dtype=np.float64)
+    if p.shape != (spec.n, spec.categories) or dy.shape != p.shape:
+        raise ValueError("probs/dout shape mismatch with spec")
+    inner = (dy * p).sum(axis=1, keepdims=True)
+    return (p * (dy - inner)).astype(_F)
+
+
+def cross_entropy_loss(
+    logits: np.ndarray, labels: np.ndarray, spec: SoftmaxSpec
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over the batch and its gradient w.r.t. logits.
+
+    The classic fused form: dlogits = (softmax(logits) - onehot) / N.
+    """
+    labels = np.asarray(labels)
+    if labels.shape != (spec.n,):
+        raise ValueError(f"labels shape {labels.shape} != ({spec.n},)")
+    if labels.min() < 0 or labels.max() >= spec.categories:
+        raise ValueError("labels out of range")
+    probs = softmax_fused(np.asarray(logits, dtype=_F), spec).astype(np.float64)
+    eps = 1e-12
+    loss = -np.log(probs[np.arange(spec.n), labels] + eps).mean()
+    dlogits = probs.copy()
+    dlogits[np.arange(spec.n), labels] -= 1.0
+    dlogits /= spec.n
+    return float(loss), dlogits.astype(_F)
+
+
+# --------------------------------------------------------------------------
+# fully connected / relu / lrn
+# --------------------------------------------------------------------------
+def fc_backward(
+    x: np.ndarray, weights: np.ndarray, dout: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of ``x @ W + b``: returns (dx, dW, db)."""
+    x = np.asarray(x, dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64)
+    dy = np.asarray(dout, dtype=np.float64)
+    if x.shape[0] != dy.shape[0] or w.shape[1] != dy.shape[1]:
+        raise ValueError("fc_backward shape mismatch")
+    dx = dy @ w.T
+    dw = x.T @ dy
+    db = dy.sum(axis=0)
+    return dx.astype(_F), dw.astype(_F), db.astype(_F)
+
+
+def relu_backward(x: np.ndarray, dout: np.ndarray) -> np.ndarray:
+    """Gradient of max(x, 0)."""
+    x = np.asarray(x)
+    dy = np.asarray(dout, dtype=np.float64)
+    if x.shape != dy.shape:
+        raise ValueError("relu_backward shape mismatch")
+    return (dy * (x > 0)).astype(_F)
+
+
+def lrn_backward(
+    x: np.ndarray, dout: np.ndarray, spec: LRNSpec = LRNSpec()
+) -> np.ndarray:
+    """Gradient of across-channel LRN.
+
+    With ``scale = k + (alpha/n) * sum window x^2`` and ``y = x * scale^-b``:
+
+        dx_i = dy_i * scale_i^-b
+             - (2 a b / n) * x_i * sum_{j: i in window(j)} dy_j y_j / scale_j
+    """
+    x = np.asarray(x, dtype=np.float64)
+    dy = np.asarray(dout, dtype=np.float64)
+    if x.ndim != 4 or x.shape != dy.shape:
+        raise ValueError("lrn_backward expects matching 4-D arrays")
+    half = spec.depth // 2
+    c = x.shape[1]
+    scale = np.full_like(x, spec.k)
+    for offset in range(-half, half + 1):
+        lo_src, hi_src = max(0, offset), c + min(0, offset)
+        lo_dst, hi_dst = max(0, -offset), c + min(0, -offset)
+        scale[:, lo_dst:hi_dst] += (spec.alpha / spec.depth) * (
+            x[:, lo_src:hi_src] ** 2
+        )
+    y = x * scale ** (-spec.beta)
+    ratio = dy * y / scale
+    acc = np.zeros_like(x)
+    for offset in range(-half, half + 1):
+        # channel i receives from every j with |i - j| <= half
+        lo_src, hi_src = max(0, offset), c + min(0, offset)
+        lo_dst, hi_dst = max(0, -offset), c + min(0, -offset)
+        acc[:, lo_src:hi_src] += ratio[:, lo_dst:hi_dst]
+    dx = dy * scale ** (-spec.beta) - (
+        2.0 * spec.alpha * spec.beta / spec.depth
+    ) * x * acc
+    return dx.astype(_F)

@@ -1,0 +1,104 @@
+"""Elementwise layers (ReLU) and local response normalization.
+
+These are the "other layers such as normalization and fully-connected
+layers" of AlexNet (Fig. 15).  They are layout-agnostic streaming kernels:
+the same bytes move regardless of axis order, so the planner treats them as
+transparent (they preserve whatever layout their input uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernel import KernelModel, LaunchConfig, MemoryProfile
+
+_F = np.float32
+
+
+def relu_forward(x: np.ndarray) -> np.ndarray:
+    """max(x, 0), any shape."""
+    return np.maximum(np.asarray(x, dtype=_F), 0.0)
+
+
+@dataclass(frozen=True)
+class LRNSpec:
+    """AlexNet-style across-channel local response normalization."""
+
+    depth: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+    k: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0 or self.depth % 2 == 0:
+            raise ValueError("LRN depth must be a positive odd number")
+
+
+def lrn_forward(x: np.ndarray, spec: LRNSpec = LRNSpec()) -> np.ndarray:
+    """LRN over the channel axis of logical (N, C, H, W) input."""
+    x = np.asarray(x, dtype=_F)
+    if x.ndim != 4:
+        raise ValueError(f"expected 4-D activations, got ndim={x.ndim}")
+    half = spec.depth // 2
+    sq = x.astype(np.float64) ** 2
+    c = x.shape[1]
+    scale = np.full_like(sq, spec.k)
+    for offset in range(-half, half + 1):
+        lo_src, hi_src = max(0, offset), c + min(0, offset)
+        lo_dst, hi_dst = max(0, -offset), c + min(0, -offset)
+        scale[:, lo_dst:hi_dst] += (spec.alpha / spec.depth) * sq[:, lo_src:hi_src]
+    return (x / (scale**spec.beta)).astype(_F)
+
+
+class ElementwiseKernel(KernelModel):
+    """A streaming kernel: read each element, write each element.
+
+    ``reads_per_element`` > 1 covers LRN's channel window (the window is
+    re-read from registers in real kernels; we charge L2 hits for it).
+    """
+
+    def __init__(
+        self, elements: int, name: str = "elementwise", reads_per_element: float = 1.0
+    ) -> None:
+        if elements <= 0:
+            raise ValueError("elements must be positive")
+        self.elements = elements
+        self.name = name
+        self.reads_per_element = reads_per_element
+
+    def launch_config(self, device: DeviceSpec) -> LaunchConfig:
+        return LaunchConfig(
+            grid=(ceil(self.elements / 256), 1, 1),
+            block=(256, 1, 1),
+            regs_per_thread=16,
+        )
+
+    def flop_count(self) -> float:
+        return float(self.elements * max(1.0, self.reads_per_element))
+
+    def alu_efficiency(self, device: DeviceSpec) -> float:
+        return 0.25
+
+    def memory_profile(self, device: DeviceSpec) -> MemoryProfile:
+        nbytes = 4.0 * self.elements
+        loads = nbytes * self.reads_per_element
+        hit = max(0.0, 1.0 - nbytes / loads) if loads else 0.0
+        return MemoryProfile(
+            load_bytes=loads,
+            store_bytes=nbytes,
+            load_transactions=loads / 32.0,
+            store_transactions=nbytes / 32.0,
+            l2_hit_rate=hit,
+        )
+
+
+def make_relu_kernel(elements: int) -> ElementwiseKernel:
+    return ElementwiseKernel(elements, name="relu")
+
+
+def make_lrn_kernel(elements: int, spec: LRNSpec = LRNSpec()) -> ElementwiseKernel:
+    return ElementwiseKernel(elements, name="lrn", reads_per_element=float(spec.depth))

@@ -1,0 +1,62 @@
+"""Fully-connected layer: numeric forward and its GEMM kernel model.
+
+The paper treats fully-connected layers as plain matrix multiplications
+("a standard matrix multiplication is used to implement a fully-connected
+layer"), so the kernel model is just a :class:`~repro.layers.gemm.GemmKernel`
+with the layer's shape.  The flatten that precedes the first FC layer is
+where a 4-D tensor's layout stops mattering — useful to the planner, which
+never schedules a transform after the last conv/pool layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim.kernel import KernelModel
+from .base import FCSpec
+from .gemm import GemmKernel
+
+_F = np.float32
+
+
+def fc_forward(
+    x: np.ndarray, weights: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """(N, in) @ (in, out) + bias."""
+    x = np.asarray(x, dtype=_F)
+    weights = np.asarray(weights, dtype=_F)
+    if x.ndim != 2 or weights.ndim != 2:
+        raise ValueError("fc_forward expects 2-D input and weights")
+    if x.shape[1] != weights.shape[0]:
+        raise ValueError(
+            f"input features {x.shape[1]} != weight rows {weights.shape[0]}"
+        )
+    out = x @ weights
+    if bias is not None:
+        bias = np.asarray(bias, dtype=_F)
+        if bias.shape != (weights.shape[1],):
+            raise ValueError(f"bias shape {bias.shape} != ({weights.shape[1]},)")
+        out = out + bias
+    return out.astype(_F)
+
+
+def flatten_4d(x: np.ndarray) -> np.ndarray:
+    """Flatten logical (N, C, H, W) activations into (N, C*H*W) rows."""
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"expected 4-D activations, got ndim={x.ndim}")
+    return np.ascontiguousarray(x.reshape(x.shape[0], -1))
+
+
+def make_fc_kernel(spec: FCSpec) -> KernelModel:
+    """GEMM kernel model for an FC layer: (out x in) @ (in x N)."""
+    return GemmKernel(m=spec.out_features, n=spec.n, k=spec.in_features, name="fc-gemm")
+
+
+def make_fc_weights(spec: FCSpec, seed: int = 2) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded (in, out) weights and (out,) bias."""
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(spec.in_features)
+    w = (rng.standard_normal((spec.in_features, spec.out_features)) * scale).astype(_F)
+    b = (rng.standard_normal(spec.out_features) * 0.01).astype(_F)
+    return w, b

@@ -1,0 +1,62 @@
+"""SGEMM kernel model (cuBLAS stand-in) and the GEMM-shape efficiency law.
+
+The NCHW convolution path and the fully-connected layers both bottom out in
+a matrix multiplication, so the paper's NCHW-vs-CHWN crossover is largely a
+statement about *GEMM shape efficiency*: a GEMM with a short reduction
+dimension (K = Ci*Fh*Fw, small when C is small) cannot reach peak, while
+merging N into the output columns ("dimensions merging", Section IV.A)
+makes the column dimension effectively unbounded.  The shape law here is
+the quantitative form of that argument; its constants live in the device's
+:class:`~repro.gpusim.device.ArchProfile` and are what the one-time
+calibration recovers.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernel import KernelModel, LaunchConfig, MemoryProfile
+
+
+def gemm_shape_efficiency(device: DeviceSpec, m: int, n: int, k: int) -> float:
+    """Fraction of peak FLOPS an (M x K) @ (K x N) SGEMM sustains."""
+    arch = device.arch
+    f_k = max(k / (k + arch.gemm_k_half), arch.gemm_k_floor)
+    f_m = m / (m + arch.gemm_m_half)
+    f_n = n / (n + arch.gemm_n_half)
+    return arch.gemm_peak_eff * f_k * f_m * f_n
+
+
+class GemmKernel(KernelModel):
+    """A tiled SGEMM: C(M x N) = A(M x K) @ B(K x N)."""
+
+    name = "sgemm"
+    tile = 64
+
+    def __init__(self, m: int, n: int, k: int, name: str | None = None) -> None:
+        if min(m, n, k) <= 0:
+            raise ValueError(f"GEMM dims must be positive, got {(m, n, k)}")
+        self.m, self.n, self.k = m, n, k
+        if name:
+            self.name = name
+
+    def launch_config(self, device: DeviceSpec) -> LaunchConfig:
+        grid = (ceil(self.n / self.tile), ceil(self.m / self.tile), 1)
+        return LaunchConfig(
+            grid=grid, block=(16, 16, 1), regs_per_thread=48, smem_per_block=8 * 1024
+        )
+
+    def flop_count(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+    def alu_efficiency(self, device: DeviceSpec) -> float:
+        return gemm_shape_efficiency(device, self.m, self.n, self.k)
+
+    def memory_profile(self, device: DeviceSpec) -> MemoryProfile:
+        # Standard tiled-GEMM traffic: each operand is re-read once per tile
+        # row/column of the other operand.
+        a_bytes = 4.0 * self.m * self.k * ceil(self.n / self.tile)
+        b_bytes = 4.0 * self.k * self.n * ceil(self.m / self.tile)
+        c_bytes = 4.0 * self.m * self.n
+        return MemoryProfile.coalesced(load_bytes=a_bytes + b_bytes, store_bytes=c_bytes)

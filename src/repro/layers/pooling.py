@@ -1,0 +1,127 @@
+"""Numeric pooling: plain and thread-coarsened implementations.
+
+Pooling uses ceil-mode output extents (Caffe convention): the last window
+may overhang the input and is clipped.  Max pooling reduces over the valid
+elements; average pooling divides by the *valid* element count.
+
+The coarsened variant computes identical results but mirrors the structure
+of the paper's optimized kernel (Section V.A): each "thread" produces a
+``ux x uy`` tile of outputs from a single load of the tile's input
+footprint, which is what enables the register-file reuse on the GPU.  The
+numeric twin exists so the test suite can prove the restructuring is
+value-preserving for every expansion factor the auto-tuner may choose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensors.layout import DataLayout
+from ..tensors.tensor import Tensor4D
+from .base import PoolSpec
+
+_F = np.float32
+
+
+def _check_input(x: np.ndarray, spec: PoolSpec) -> np.ndarray:
+    x = np.asarray(x, dtype=_F)
+    expected = (spec.n, spec.c, spec.h, spec.w)
+    if x.shape != expected:
+        raise ValueError(f"input shape {x.shape} != spec {expected}")
+    return x
+
+
+def _window_view(x: np.ndarray, spec: PoolSpec, oy: int, ox: int) -> np.ndarray:
+    """The (clipped) strided plane of window offset (oy, ox):
+    element ``[.., h_out, w_out]`` is input ``[.., h_out*S+oy, w_out*S+ox]``,
+    padded with NaN where the offset falls outside the input."""
+    s = spec.stride
+    ho, wo = spec.out_h, spec.out_w
+    plane = np.full((spec.n, spec.c, ho, wo), np.nan, dtype=_F)
+    h_valid = min(ho, -(-(spec.h - oy) // s))
+    w_valid = min(wo, -(-(spec.w - ox) // s))
+    if h_valid > 0 and w_valid > 0:
+        plane[:, :, :h_valid, :w_valid] = x[
+            :, :, oy : oy + (h_valid - 1) * s + 1 : s, ox : ox + (w_valid - 1) * s + 1 : s
+        ]
+    return plane
+
+
+def pool_plain(x: np.ndarray, spec: PoolSpec) -> np.ndarray:
+    """Reference pooling over logical (N, C, H, W) input."""
+    x = _check_input(x, spec)
+    planes = np.stack(
+        [
+            _window_view(x, spec, oy, ox)
+            for oy in range(spec.window)
+            for ox in range(spec.window)
+        ]
+    )
+    if spec.op == "max":
+        with np.errstate(invalid="ignore"):
+            return np.nanmax(planes, axis=0).astype(_F)
+    with np.errstate(invalid="ignore"):
+        return np.nanmean(planes.astype(np.float64), axis=0).astype(_F)
+
+
+def pool_coarsened(
+    x: np.ndarray, spec: PoolSpec, ux: int = 2, uy: int = 2
+) -> np.ndarray:
+    """Pooling with a working set of ``ux x uy`` outputs per 'thread'.
+
+    Iterates output tiles the way the coarsened GPU kernel does: load the
+    tile's input footprint once, then reduce each window from that cached
+    footprint.  Results match :func:`pool_plain` exactly.
+    """
+    if ux <= 0 or uy <= 0:
+        raise ValueError("expansion factors must be positive")
+    x = _check_input(x, spec)
+    ho, wo, s, f = spec.out_h, spec.out_w, spec.stride, spec.window
+    out = np.empty((spec.n, spec.c, ho, wo), dtype=_F)
+    for ty in range(0, ho, uy):
+        for tx in range(0, wo, ux):
+            ny, nx = min(uy, ho - ty), min(ux, wo - tx)
+            # One clipped load of the tile's input footprint (register cache
+            # on the GPU).
+            fy0, fx0 = ty * s, tx * s
+            fy1 = min(spec.h, fy0 + (ny - 1) * s + f)
+            fx1 = min(spec.w, fx0 + (nx - 1) * s + f)
+            footprint = x[:, :, fy0:fy1, fx0:fx1]
+            for oy in range(ny):
+                for ox in range(nx):
+                    window = footprint[
+                        :, :, oy * s : oy * s + f, ox * s : ox * s + f
+                    ]
+                    if spec.op == "max":
+                        out[:, :, ty + oy, tx + ox] = window.max(axis=(2, 3))
+                    else:
+                        out[:, :, ty + oy, tx + ox] = window.mean(
+                            axis=(2, 3), dtype=np.float64
+                        ).astype(_F)
+    return out
+
+
+def tile_footprint(spec: PoolSpec, ux: int, uy: int) -> int:
+    """Input elements loaded per ``ux x uy`` output tile.
+
+    Without coarsening every output loads ``window**2`` elements; the tile
+    shares its overlap, which is the traffic reduction the optimization
+    banks on (Fig. 8).
+    """
+    s, f = spec.stride, spec.window
+    return ((ux - 1) * s + f) * ((uy - 1) * s + f)
+
+
+def pool_forward(
+    x: Tensor4D,
+    spec: PoolSpec,
+    coarsen: tuple[int, int] | None = None,
+    out_layout: DataLayout | None = None,
+) -> Tensor4D:
+    """Layout-aware pooling on a :class:`Tensor4D`."""
+    logical = x.as_nchw()
+    if coarsen is None:
+        out = pool_plain(logical, spec)
+    else:
+        out = pool_coarsened(logical, spec, *coarsen)
+    return Tensor4D.from_nchw(out, out_layout or x.layout)

@@ -1,0 +1,65 @@
+"""Numeric softmax: the paper's five-step formulation and the fused version.
+
+Section II.A spells softmax out as five separate steps (max, shift, exp,
+sum, normalize) because the baseline libraries launch one GPU kernel per
+step.  :func:`softmax_five_step` mirrors that structure and returns every
+intermediate so tests can pin down each stage; :func:`softmax_fused`
+computes the same result in one pass, the numeric twin of the fused kernel
+in Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import SoftmaxSpec
+
+_F = np.float32
+
+
+@dataclass(frozen=True)
+class SoftmaxSteps:
+    """All intermediates of the five-step algorithm (paper Section II.A)."""
+
+    maxv: np.ndarray  # step 1: per-image maximum           (N,)
+    midv1: np.ndarray  # step 2: shifted logits             (N, C)
+    midv2: np.ndarray  # step 3: exponentials               (N, C)
+    sumv: np.ndarray  # step 4: per-image sum               (N,)
+    out: np.ndarray  # step 5: normalized probabilities     (N, C)
+
+
+def _check(x: np.ndarray, spec: SoftmaxSpec) -> np.ndarray:
+    x = np.asarray(x, dtype=_F)
+    if x.shape != (spec.n, spec.categories):
+        raise ValueError(
+            f"input shape {x.shape} != spec {(spec.n, spec.categories)}"
+        )
+    return x
+
+
+def softmax_five_step(x: np.ndarray, spec: SoftmaxSpec) -> SoftmaxSteps:
+    """The baseline five-kernel algorithm, one array op per step."""
+    x = _check(x, spec)
+    maxv = x.max(axis=1)  # step 1
+    midv1 = x - maxv[:, None]  # step 2
+    midv2 = np.exp(midv1, dtype=_F)  # step 3
+    sumv = midv2.sum(axis=1, dtype=np.float64).astype(_F)  # step 4
+    out = (midv2 / sumv[:, None]).astype(_F)  # step 5
+    return SoftmaxSteps(maxv=maxv, midv1=midv1, midv2=midv2, sumv=sumv, out=out)
+
+
+def softmax_fused(x: np.ndarray, spec: SoftmaxSpec) -> np.ndarray:
+    """Single-pass softmax (the fused kernel's numeric twin)."""
+    x = _check(x, spec)
+    shifted = x - x.max(axis=1, keepdims=True)
+    e = np.exp(shifted, dtype=_F)
+    return (e / e.sum(axis=1, keepdims=True, dtype=np.float64)).astype(_F)
+
+
+def softmax_forward(x: np.ndarray, spec: SoftmaxSpec, fused: bool = True) -> np.ndarray:
+    """Softmax over an (N, categories) logit matrix."""
+    if fused:
+        return softmax_fused(x, spec)
+    return softmax_five_step(x, spec).out

@@ -1,0 +1,235 @@
+"""GPU kernel models for the softmax/classifier layer (paper Section V.B).
+
+The baseline libraries implement the five steps of Section II.A as five
+kernels with only N threads each (the outer batch loop is the only
+parallelized loop).  Two pathologies follow, both modelled here:
+
+* inter-kernel data passes through off-chip memory five times over;
+* N threads (128 is typical) cannot hide memory latency, so each kernel is
+  latency bound — the source of the paper's "the number of threads for the
+  kernel is only 128".
+
+The optimized kernel fuses all five steps (intermediates live in shared
+memory/registers) and injects threads to parallelize the inner reduction
+loops, restoring both locality and parallelism.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernel import ComposedKernel, KernelModel, LaunchConfig, MemoryProfile
+from .base import SoftmaxSpec
+
+_ITEM = 4
+
+
+class _SoftmaxStepKernel(KernelModel):
+    """One of the five baseline kernels: N threads, each looping over C.
+
+    ``reads``/``writes`` count full (N x C) matrix passes (a per-image
+    vector read/write counts as 1/C of a pass and is ignored).  Lane
+    addresses stride by C*4 bytes, so every load is its own transaction;
+    successive iterations of a thread revisit the same 32-byte segment,
+    which the L2 serves (the per-kernel working set is tiny).
+    """
+
+    def __init__(self, spec: SoftmaxSpec, step: int, reads: int, writes: int) -> None:
+        self.spec = spec
+        self.step = step
+        self.reads = reads
+        self.writes = writes
+        self.name = f"softmax-step{step}"
+
+    def launch_config(self, device: DeviceSpec) -> LaunchConfig:
+        block = min(self.spec.n, 256)
+        return LaunchConfig(
+            grid=(ceil(self.spec.n / block), 1, 1),
+            block=(block, 1, 1),
+            regs_per_thread=20,
+        )
+
+    def flop_count(self) -> float:
+        return float(self.spec.elements * (self.reads + self.writes))
+
+    def alu_efficiency(self, device: DeviceSpec) -> float:
+        return 0.25
+
+    def memory_profile(self, device: DeviceSpec) -> MemoryProfile:
+        s = self.spec
+        passes = self.reads + self.writes
+        bytes_per_pass = float(s.nbytes)
+        # Uncoalesced: one transaction per element access.  A thread's next
+        # seven iterations reuse the fetched segment via L2.
+        load_trans = float(s.elements * self.reads)
+        lane_segments = 32 // _ITEM
+        hit = (lane_segments - 1) / lane_segments if self.reads else 0.0
+        return MemoryProfile(
+            load_bytes=bytes_per_pass * self.reads,
+            store_bytes=bytes_per_pass * self.writes,
+            load_transactions=load_trans,
+            store_transactions=float(s.elements * self.writes),
+            l2_hit_rate=hit,
+            dependent_iterations=float(s.categories),
+        )
+
+
+def five_kernel_softmax(spec: SoftmaxSpec) -> ComposedKernel:
+    """The cuda-convnet / Caffe baseline: five dependent kernel launches."""
+    steps = [
+        _SoftmaxStepKernel(spec, 1, reads=1, writes=0),  # max reduction
+        _SoftmaxStepKernel(spec, 2, reads=1, writes=1),  # shift
+        _SoftmaxStepKernel(spec, 3, reads=1, writes=1),  # exp
+        _SoftmaxStepKernel(spec, 4, reads=1, writes=0),  # sum reduction
+        _SoftmaxStepKernel(spec, 5, reads=1, writes=1),  # normalize
+    ]
+    return ComposedKernel(kernels=list(steps), name="softmax-5kernel")
+
+
+class CudnnSoftmax(KernelModel):
+    """cuDNN's softmax: one block (a single warp) per image.
+
+    Fused enough to make three passes instead of ten, but the one-warp
+    blocks leave the device under-occupied — the paper's BL_Best tops out
+    at 58.3 GB/s.
+    """
+
+    name = "softmax-cudnn"
+    n_launches = 1
+
+    def __init__(self, spec: SoftmaxSpec) -> None:
+        self.spec = spec
+
+    def launch_config(self, device: DeviceSpec) -> LaunchConfig:
+        return LaunchConfig(
+            grid=(self.spec.n, 1, 1),
+            block=(device.warp_size, 1, 1),
+            regs_per_thread=24,
+        )
+
+    def flop_count(self) -> float:
+        return self.spec.flops
+
+    def alu_efficiency(self, device: DeviceSpec) -> float:
+        return 0.25
+
+    def memory_profile(self, device: DeviceSpec) -> MemoryProfile:
+        s = self.spec
+        # Three read passes (max, exp+sum, normalize) and one write pass,
+        # all coalesced along C within the warp.
+        reads, writes = 3, 1
+        return MemoryProfile.coalesced(
+            load_bytes=float(s.nbytes * reads),
+            store_bytes=float(s.nbytes * writes),
+            dependent_iterations=float(
+                max(1, ceil(s.categories / 32)) * (reads + writes)
+            ),
+        )
+
+
+class FusedSoftmax(KernelModel):
+    """Kernel fusion only (ablation point): one launch, intermediates in
+    shared memory, but still one thread per image."""
+
+    name = "softmax-fused"
+    n_launches = 1
+
+    def __init__(self, spec: SoftmaxSpec) -> None:
+        self.spec = spec
+
+    def launch_config(self, device: DeviceSpec) -> LaunchConfig:
+        block = min(self.spec.n, 256)
+        smem = min(self.spec.categories, 11 * 1024) * _ITEM
+        return LaunchConfig(
+            grid=(ceil(self.spec.n / block), 1, 1),
+            block=(block, 1, 1),
+            regs_per_thread=28,
+            smem_per_block=min(smem, 48 * 1024 - 1024),
+        )
+
+    def flop_count(self) -> float:
+        return self.spec.flops
+
+    def alu_efficiency(self, device: DeviceSpec) -> float:
+        return 0.25
+
+    def memory_profile(self, device: DeviceSpec) -> MemoryProfile:
+        s = self.spec
+        lane_segments = 32 // _ITEM
+        return MemoryProfile(
+            load_bytes=float(s.nbytes),
+            store_bytes=float(s.nbytes),
+            load_transactions=float(s.elements),
+            store_transactions=float(s.elements),
+            l2_hit_rate=(lane_segments - 1) / lane_segments,
+            dependent_iterations=float(s.categories),
+        )
+
+
+class FusedParallelSoftmax(KernelModel):
+    """The paper's optimized kernel (Fig. 9): fusion + injected threads.
+
+    One thread block per image; lanes stream the category axis coalesced
+    (vectorized loads), reductions run through shared memory.  Inter-step
+    communication never leaves the chip.
+    """
+
+    name = "softmax-opt"
+    n_launches = 1
+
+    def __init__(self, spec: SoftmaxSpec) -> None:
+        self.spec = spec
+
+    def _block(self) -> int:
+        c = self.spec.categories
+        return int(min(256, max(32, 1 << (c - 1).bit_length())))
+
+    def launch_config(self, device: DeviceSpec) -> LaunchConfig:
+        block = self._block()
+        # Large category counts are streamed through a bounded tile rather
+        # than staging the whole row (staging 40 KB/block would pin
+        # occupancy to one block per SM); the reduction buffer adds 4 KB.
+        tile = min(self.spec.categories * _ITEM, 12 * 1024)
+        smem = tile + 1024 * _ITEM
+        return LaunchConfig(
+            grid=(self.spec.n, 1, 1),
+            block=(block, 1, 1),
+            regs_per_thread=32,
+            smem_per_block=smem,
+        )
+
+    def flop_count(self) -> float:
+        return self.spec.flops
+
+    def alu_efficiency(self, device: DeviceSpec) -> float:
+        return 0.25
+
+    def memory_profile(self, device: DeviceSpec) -> MemoryProfile:
+        s = self.spec
+        rounds = ceil(s.categories / self._block())
+        return MemoryProfile.coalesced(
+            load_bytes=float(s.nbytes),
+            store_bytes=float(s.nbytes),
+            dependent_iterations=float(rounds),
+            access_bytes=8,  # float2-vectorized streaming
+        )
+
+
+SOFTMAX_IMPLEMENTATIONS = ("5kernel", "cudnn", "fused", "opt")
+
+
+def make_softmax_kernel(spec: SoftmaxSpec, implementation: str) -> KernelModel:
+    """Build the kernel model for one softmax implementation."""
+    if implementation == "5kernel":
+        return five_kernel_softmax(spec)
+    if implementation == "cudnn":
+        return CudnnSoftmax(spec)
+    if implementation == "fused":
+        return FusedSoftmax(spec)
+    if implementation == "opt":
+        return FusedParallelSoftmax(spec)
+    raise ValueError(
+        f"unknown implementation {implementation!r}; "
+        f"choose from {SOFTMAX_IMPLEMENTATIONS}"
+    )

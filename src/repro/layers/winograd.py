@@ -1,0 +1,179 @@
+"""Winograd F(2x2, 3x3) convolution — the paper's anticipated future work.
+
+Section VII: "like the FFT approach, more techniques leveraging arithmetic
+complexity may be proposed in the future for CNNs, e.g., the recent
+proposal from Nervana Systems [Lavin & Gray].  They can set
+state-of-the-art performance for a group of layers, for which they suit...
+Nevertheless, the underlying impact from data layout remains."
+
+This module implements that proposal for the canonical F(2x2, 3x3) tile:
+
+* :func:`conv_winograd` — exact numeric transform-domain convolution for
+  3x3 / stride-1 layers, validated against the direct implementation;
+* :class:`WinogradConvNCHW` — its kernel model: 2.25x fewer
+  multiply-accumulates than direct/GEMM, a per-tile batched product with
+  reduction length Ci (the same shape constraint as FFT, but without the
+  padding blow-up), and transform-stage traffic.
+
+The minimal filtering algorithm uses the standard matrices
+
+    Y = A^T [ (G g G^T) .* (B^T d B) ] A
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+import numpy as np
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernel import KernelModel, LaunchConfig, MemoryProfile
+from .base import ConvSpec
+from .conv_kernels import ConvUnsupportedError
+
+_F = np.float32
+
+# F(2x2, 3x3) transform matrices (Lavin & Gray, eq. 10-12).
+G = np.array(
+    [[1.0, 0.0, 0.0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5], [0.0, 0.0, 1.0]]
+)
+BT = np.array(
+    [
+        [1.0, 0.0, -1.0, 0.0],
+        [0.0, 1.0, 1.0, 0.0],
+        [0.0, -1.0, 1.0, 0.0],
+        [0.0, 1.0, 0.0, -1.0],
+    ]
+)
+AT = np.array([[1.0, 1.0, 1.0, 0.0], [0.0, 1.0, -1.0, -1.0]])
+
+TILE_OUT = 2  # outputs per tile per dimension
+TILE_IN = 4  # input patch per tile per dimension
+
+
+def _check_winograd(spec: ConvSpec) -> None:
+    if (spec.fh, spec.fw) != (3, 3):
+        raise ConvUnsupportedError(
+            f"Winograd F(2x2, 3x3) requires a 3x3 filter, got {spec.fh}x{spec.fw}"
+        )
+    if spec.stride != 1:
+        raise ConvUnsupportedError("Winograd convolution requires unit stride")
+
+
+def conv_winograd(x: np.ndarray, weights: np.ndarray, spec: ConvSpec) -> np.ndarray:
+    """Exact F(2x2, 3x3) Winograd convolution (NumPy, fully vectorized).
+
+    Grouped specs convolve one channel slice per group."""
+    _check_winograd(spec)
+    if spec.groups > 1:
+        from .conv import grouped
+
+        return grouped(conv_winograd)(x, weights, spec)
+    x = np.asarray(x, dtype=_F)
+    weights = np.asarray(weights, dtype=_F)
+    if x.shape != (spec.n, spec.ci, spec.h, spec.w):
+        raise ValueError(f"input shape {x.shape} != spec")
+    p = spec.pad
+    ho, wo = spec.out_h, spec.out_w
+    tiles_h, tiles_w = ceil(ho / TILE_OUT), ceil(wo / TILE_OUT)
+    # Pad so that every tile's 4x4 input patch exists.
+    need_h = (tiles_h - 1) * TILE_OUT + TILE_IN
+    need_w = (tiles_w - 1) * TILE_OUT + TILE_IN
+    xp = np.pad(
+        x.astype(np.float64),
+        (
+            (0, 0),
+            (0, 0),
+            (p, need_h - spec.h - p),
+            (p, need_w - spec.w - p),
+        ),
+    )
+
+    # Filter transform: U[co, ci, 4, 4] = G g G^T
+    u = np.einsum("ij,ocjk,lk->ocil", G, weights.astype(np.float64), G, optimize=True)
+
+    # Input transform per tile: V[n, ci, th, tw, 4, 4] = B^T d B
+    patches = np.lib.stride_tricks.sliding_window_view(xp, (TILE_IN, TILE_IN), axis=(2, 3))
+    patches = patches[:, :, :: TILE_OUT, :: TILE_OUT][:, :, :tiles_h, :tiles_w]
+    v = np.einsum("ij,nctujk,lk->nctuil", BT, patches, BT, optimize=True)
+
+    # Transform-domain product: M[n, co, th, tw, 4, 4] = sum_ci U .* V
+    m = np.einsum("ocil,nctuil->notuil", u, v, optimize=True)
+
+    # Output transform: Y tile = A^T M A  -> (n, co, th, tw, 2, 2)
+    y = np.einsum("ij,notujk,lk->notuil", AT, m, AT, optimize=True)
+
+    # Reassemble tiles and crop to the true output extent.
+    out = y.transpose(0, 1, 2, 4, 3, 5).reshape(
+        spec.n, spec.co, tiles_h * TILE_OUT, tiles_w * TILE_OUT
+    )
+    return np.ascontiguousarray(out[:, :, :ho, :wo], dtype=_F)
+
+
+class WinogradConvNCHW(KernelModel):
+    """Kernel model for a fused Winograd convolution (NCHW).
+
+    Work: the transform-domain product does 16 multiplies per 4 outputs per
+    (ci, co) pair — 2.25x fewer MACs than direct convolution — organized as
+    16 batched GEMMs of shape (M=Co, N'=N*tiles, K=Ci).  Like the FFT path,
+    the reduction length is Ci alone, so small-channel layers cannot feed
+    it; unlike FFT, there is no frequency-domain padding, so the workspace
+    stays proportional to the activations.
+    """
+
+    name = "conv-winograd-nchw"
+    n_launches = 4  # input transform, filter transform, product, inverse
+
+    def __init__(self, spec: ConvSpec) -> None:
+        _check_winograd(spec)
+        self.spec = spec
+
+    def _tiles(self) -> int:
+        return ceil(self.spec.out_h / TILE_OUT) * ceil(self.spec.out_w / TILE_OUT)
+
+    def flop_count(self) -> float:
+        s = self.spec
+        tiles = self._tiles()
+        product = 2.0 * 16 * s.n * tiles * s.co * s.ci
+        # transforms: 32 fused multiply-adds per 4x4 tile-matrix transform
+        transforms = 2.0 * 32 * (
+            s.n * s.ci * tiles + s.co * s.ci + s.n * s.co * tiles
+        )
+        return product + transforms
+
+    def alu_efficiency(self, device: DeviceSpec) -> float:
+        s = self.spec
+        arch = device.arch
+        # The fused product keeps tiles in registers (Neon-style), escaping
+        # cuBLAS's generic K-shape penalty, but its reduction is still Ci:
+        # shallow layers cannot feed it (same constraint as FFT).
+        f_k = s.ci / (s.ci + arch.winograd_k_half)
+        f_m = s.co / (s.co + 8.0)
+        n_cols = s.n * self._tiles()
+        f_n = n_cols / (n_cols + 64.0)
+        return arch.winograd_peak_eff * f_k * f_m * f_n
+
+    def memory_profile(self, device: DeviceSpec) -> MemoryProfile:
+        s = self.spec
+        tiles = self._tiles()
+        v_bytes = 4.0 * 16 * s.n * s.ci * tiles
+        m_bytes = 4.0 * 16 * s.n * s.co * tiles
+        u_bytes = 4.0 * 16 * s.co * s.ci
+        real = float(s.in_desc().nbytes + s.out_desc().nbytes + s.filter_bytes)
+        traffic = real + 2.0 * (v_bytes + m_bytes) + 2.0 * u_bytes
+        return MemoryProfile.coalesced(
+            load_bytes=0.55 * traffic, store_bytes=0.45 * traffic
+        )
+
+    def launch_config(self, device: DeviceSpec) -> LaunchConfig:
+        s = self.spec
+        blocks = ceil(s.n * self._tiles() * s.co / 256)
+        return LaunchConfig(
+            grid=(max(1, blocks), 1, 1), block=(256, 1, 1),
+            regs_per_thread=48, smem_per_block=8 * 1024,
+        )
+
+    def workspace_bytes(self) -> float:
+        s = self.spec
+        tiles = self._tiles()
+        return 4.0 * 16 * tiles * s.n * (s.ci + s.co)

@@ -1,0 +1,39 @@
+"""Benchmark networks and the paper's Table-1 layer configurations."""
+
+from .definitions import (
+    NETWORK_BUILDERS,
+    alexnet,
+    build_network,
+    cifar,
+    lenet,
+    vgg,
+    zfnet,
+)
+from .table1 import (
+    ALEXNET_CONV,
+    ALEXNET_POOL,
+    CLASS_LAYERS,
+    CONV_LAYERS,
+    FIG13_SOFTMAX,
+    POOL_LAYERS,
+    conv_layer,
+    pool_layer,
+)
+
+__all__ = [
+    "ALEXNET_CONV",
+    "ALEXNET_POOL",
+    "CLASS_LAYERS",
+    "CONV_LAYERS",
+    "FIG13_SOFTMAX",
+    "NETWORK_BUILDERS",
+    "POOL_LAYERS",
+    "alexnet",
+    "build_network",
+    "cifar",
+    "conv_layer",
+    "lenet",
+    "pool_layer",
+    "vgg",
+    "zfnet",
+]

@@ -1,0 +1,189 @@
+"""The five benchmark networks of the paper (Section III.A / Fig. 14).
+
+Shapes follow Table 1's layer configurations: padding is chosen so that the
+pool/conv input extents match the table rows exactly (e.g. LeNet's convs
+use 'same' padding so PL1 sees 28x28 and PL2 sees 14x14; ZFNet's first
+convolution uses a 5x5/s2 filter so that PL8 sees 110x110).  Each builder
+takes an optional batch override; defaults are the paper's (128 for
+LeNet/Cifar/AlexNet, 64 for ZFNet, 32 for VGG).
+"""
+
+from __future__ import annotations
+
+from ..framework.netdef import (
+    ConvDef,
+    FCDef,
+    LRNDef,
+    NetworkDef,
+    PoolDef,
+    SoftmaxDef,
+)
+
+
+def lenet(batch: int = 128) -> NetworkDef:
+    """LeNet on MNIST (28x28 grey-scale, 10 classes); CV1/CV2/PL1/PL2/CLASS1."""
+    return NetworkDef(
+        name="lenet",
+        batch=batch,
+        in_channels=1,
+        in_h=28,
+        in_w=28,
+        layers=(
+            ConvDef("conv1", co=16, f=5, pad=2),
+            PoolDef("pool1", window=2, stride=2),
+            ConvDef("conv2", co=16, f=5, pad=2),
+            PoolDef("pool2", window=2, stride=2),
+            FCDef("fc1", out_features=500),
+            FCDef("fc2", out_features=10, relu=False),
+            SoftmaxDef("prob"),
+        ),
+    )
+
+
+def cifar(batch: int = 128) -> NetworkDef:
+    """The cuda-convnet CIFAR-10 example network (24x24 crops, 10 classes);
+    CV3/CV4/PL3/PL4/CLASS2."""
+    return NetworkDef(
+        name="cifar",
+        batch=batch,
+        in_channels=3,
+        in_h=24,
+        in_w=24,
+        layers=(
+            ConvDef("conv1", co=64, f=5, pad=2),
+            PoolDef("pool1", window=3, stride=2),
+            ConvDef("conv2", co=64, f=5, pad=2),
+            PoolDef("pool2", window=3, stride=2),
+            FCDef("fc1", out_features=64),
+            FCDef("fc2", out_features=10, relu=False),
+            SoftmaxDef("prob"),
+        ),
+    )
+
+
+def alexnet(batch: int = 128) -> NetworkDef:
+    """AlexNet (single-tower) on ImageNet; PL5–PL7 and CLASS3 are its pool
+    and classifier rows in Table 1."""
+    return NetworkDef(
+        name="alexnet",
+        batch=batch,
+        in_channels=3,
+        in_h=227,
+        in_w=227,
+        layers=(
+            ConvDef("conv1", co=96, f=11, stride=4),
+            LRNDef("norm1"),
+            PoolDef("pool1", window=3, stride=2),
+            ConvDef("conv2", co=256, f=5, pad=2),
+            LRNDef("norm2"),
+            PoolDef("pool2", window=3, stride=2),
+            ConvDef("conv3", co=384, f=3, pad=1),
+            ConvDef("conv4", co=384, f=3, pad=1),
+            ConvDef("conv5", co=256, f=3, pad=1),
+            PoolDef("pool3", window=3, stride=2),
+            FCDef("fc6", out_features=4096),
+            FCDef("fc7", out_features=4096),
+            FCDef("fc8", out_features=1000, relu=False),
+            SoftmaxDef("prob"),
+        ),
+    )
+
+
+def zfnet(batch: int = 64) -> NetworkDef:
+    """ZFNet on ImageNet; CV6–CV8, PL8–PL10 and CLASS4 come from this net.
+
+    Table 1 lists the first ZFNet convolution (CV5) as 3x3/s2 on 224; for a
+    consistent chain into PL8's 110x110 input the network uses a 5x5/s2
+    first filter ((224-5)/2+1 = 110).  CV5 itself is still benchmarked
+    standalone with the table's exact shape.
+    """
+    return NetworkDef(
+        name="zfnet",
+        batch=batch,
+        in_channels=3,
+        in_h=224,
+        in_w=224,
+        layers=(
+            ConvDef("conv1", co=96, f=5, stride=2),
+            PoolDef("pool1", window=3, stride=2),
+            LRNDef("norm1"),
+            ConvDef("conv2", co=256, f=5, stride=2),
+            PoolDef("pool2", window=3, stride=2),
+            LRNDef("norm2"),
+            ConvDef("conv3", co=384, f=3, pad=1),
+            ConvDef("conv4", co=384, f=3, pad=1),
+            ConvDef("conv5", co=256, f=3, pad=1),
+            PoolDef("pool3", window=3, stride=2),
+            FCDef("fc6", out_features=4096),
+            FCDef("fc7", out_features=4096),
+            FCDef("fc8", out_features=1000, relu=False),
+            SoftmaxDef("prob"),
+        ),
+    )
+
+
+def vgg(batch: int = 32) -> NetworkDef:
+    """VGG-16 on ImageNet; CV9–CV12 and CLASS5 come from this net."""
+    blocks = (
+        ("1", 64, 2),
+        ("2", 128, 2),
+        ("3", 256, 3),
+        ("4", 512, 3),
+        ("5", 512, 3),
+    )
+    layers: list = []
+    for tag, co, reps in blocks:
+        for i in range(1, reps + 1):
+            layers.append(ConvDef(f"conv{tag}_{i}", co=co, f=3, pad=1))
+        layers.append(PoolDef(f"pool{tag}", window=2, stride=2))
+    layers += [
+        FCDef("fc6", out_features=4096),
+        FCDef("fc7", out_features=4096),
+        FCDef("fc8", out_features=1000, relu=False),
+        SoftmaxDef("prob"),
+    ]
+    return NetworkDef(
+        name="vgg", batch=batch, in_channels=3, in_h=224, in_w=224, layers=tuple(layers)
+    )
+
+
+def alexnet_grouped(batch: int = 128) -> NetworkDef:
+    """AlexNet with its original two-tower grouping (conv2/4/5 use
+    groups=2, as in Krizhevsky et al.'s dual-GPU layout)."""
+    base = alexnet(batch)
+    layers = []
+    for layer in base.layers:
+        if isinstance(layer, ConvDef) and layer.name in ("conv2", "conv4", "conv5"):
+            layers.append(
+                ConvDef(
+                    layer.name, co=layer.co, f=layer.f, stride=layer.stride,
+                    pad=layer.pad, relu=layer.relu, groups=2,
+                )
+            )
+        else:
+            layers.append(layer)
+    return NetworkDef(
+        "alexnet-grouped", base.batch, base.in_channels, base.in_h, base.in_w,
+        tuple(layers),
+    )
+
+
+NETWORK_BUILDERS = {
+    "lenet": lenet,
+    "cifar": cifar,
+    "alexnet": alexnet,
+    "alexnet-grouped": alexnet_grouped,
+    "zfnet": zfnet,
+    "vgg": vgg,
+}
+
+
+def build_network(name: str, batch: int | None = None) -> NetworkDef:
+    """Build a benchmark network by name, optionally overriding the batch."""
+    try:
+        builder = NETWORK_BUILDERS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; known: {', '.join(NETWORK_BUILDERS)}"
+        ) from None
+    return builder() if batch is None else builder(batch)

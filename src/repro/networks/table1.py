@@ -1,0 +1,99 @@
+"""The paper's Table 1: every benchmarked layer configuration.
+
+Column meanings follow the paper: Ni batch, Co output maps, H/W spatial
+extent (input), Fw/Fh filter or pooling window, Ci input maps, S stride.
+Names CV1–CV12, PL1–PL10, CLASS1–CLASS5 match the figures.
+"""
+
+from __future__ import annotations
+
+from ..layers.base import ConvSpec, PoolSpec, SoftmaxSpec
+
+#: Convolutional layers CV1–CV12 (Table 1 rows CONV1–CONV12).
+CONV_LAYERS: dict[str, ConvSpec] = {
+    # LeNet (MNIST)
+    "CV1": ConvSpec(n=128, ci=1, h=28, w=28, co=16, fh=5, fw=5, stride=1),
+    "CV2": ConvSpec(n=128, ci=16, h=14, w=14, co=16, fh=5, fw=5, stride=1),
+    # Cifar10
+    "CV3": ConvSpec(n=128, ci=3, h=24, w=24, co=64, fh=5, fw=5, stride=1),
+    "CV4": ConvSpec(n=128, ci=64, h=12, w=12, co=64, fh=5, fw=5, stride=1),
+    # ImageNet / ZFNet
+    "CV5": ConvSpec(n=64, ci=3, h=224, w=224, co=96, fh=3, fw=3, stride=2),
+    "CV6": ConvSpec(n=64, ci=96, h=55, w=55, co=256, fh=5, fw=5, stride=2),
+    "CV7": ConvSpec(n=64, ci=256, h=13, w=13, co=384, fh=3, fw=3, stride=1, pad=1),
+    "CV8": ConvSpec(n=64, ci=384, h=13, w=13, co=384, fh=3, fw=3, stride=1, pad=1),
+    # ImageNet / VGG
+    "CV9": ConvSpec(n=32, ci=3, h=224, w=224, co=64, fh=3, fw=3, stride=1, pad=1),
+    "CV10": ConvSpec(n=32, ci=128, h=56, w=56, co=256, fh=3, fw=3, stride=1, pad=1),
+    "CV11": ConvSpec(n=32, ci=256, h=28, w=28, co=512, fh=3, fw=3, stride=1, pad=1),
+    "CV12": ConvSpec(n=32, ci=512, h=14, w=14, co=512, fh=3, fw=3, stride=1, pad=1),
+}
+
+#: Pooling layers PL1–PL10.  PL1/PL2 are LeNet's non-overlapped 2x2/s2
+#: pools; the rest are overlapped 3x3/s2 (window > stride).
+POOL_LAYERS: dict[str, PoolSpec] = {
+    "PL1": PoolSpec(n=128, c=16, h=28, w=28, window=2, stride=2),
+    "PL2": PoolSpec(n=128, c=16, h=14, w=14, window=2, stride=2),
+    "PL3": PoolSpec(n=128, c=64, h=24, w=24, window=3, stride=2),
+    "PL4": PoolSpec(n=128, c=64, h=12, w=12, window=3, stride=2),
+    "PL5": PoolSpec(n=128, c=96, h=55, w=55, window=3, stride=2),
+    "PL6": PoolSpec(n=128, c=192, h=27, w=27, window=3, stride=2),
+    "PL7": PoolSpec(n=128, c=256, h=13, w=13, window=3, stride=2),
+    "PL8": PoolSpec(n=64, c=96, h=110, w=110, window=3, stride=2),
+    "PL9": PoolSpec(n=64, c=256, h=26, w=26, window=3, stride=2),
+    "PL10": PoolSpec(n=64, c=256, h=13, w=13, window=3, stride=2),
+}
+
+#: Classifier layers CLASS1–CLASS5.
+CLASS_LAYERS: dict[str, SoftmaxSpec] = {
+    "CLASS1": SoftmaxSpec(n=128, categories=10),
+    "CLASS2": SoftmaxSpec(n=128, categories=10),
+    "CLASS3": SoftmaxSpec(n=128, categories=1000),
+    "CLASS4": SoftmaxSpec(n=64, categories=1000),
+    "CLASS5": SoftmaxSpec(n=32, categories=1000),
+}
+
+#: The twelve softmax configurations of Fig. 13 ("x/y means the batch size
+#: as x and the number of categories as y").
+FIG13_SOFTMAX: dict[str, SoftmaxSpec] = {
+    f"{n}/{c}": SoftmaxSpec(n=n, categories=c)
+    for n in (32, 64, 128)
+    for c in (10, 100, 1000, 10000)
+}
+
+#: Layers used in Fig. 1 / Fig. 15: AlexNet's conv and pool layers.  Table 1
+#: only lists AlexNet's pools; its convs follow Krizhevsky et al. with the
+#: paper's batch size of 128 (single-GPU variant, no grouping).
+ALEXNET_CONV: dict[str, ConvSpec] = {
+    "ACV1": ConvSpec(n=128, ci=3, h=224, w=224, co=96, fh=11, fw=11, stride=4),
+    "ACV2": ConvSpec(n=128, ci=96, h=27, w=27, co=256, fh=5, fw=5, stride=1, pad=2),
+    "ACV3": ConvSpec(n=128, ci=256, h=13, w=13, co=384, fh=3, fw=3, stride=1, pad=1),
+    "ACV4": ConvSpec(n=128, ci=384, h=13, w=13, co=384, fh=3, fw=3, stride=1, pad=1),
+    "ACV5": ConvSpec(n=128, ci=384, h=13, w=13, co=256, fh=3, fw=3, stride=1, pad=1),
+}
+
+ALEXNET_POOL: dict[str, PoolSpec] = {
+    "APL1": POOL_LAYERS["PL5"],
+    "APL2": POOL_LAYERS["PL6"],
+    "APL3": POOL_LAYERS["PL7"],
+}
+
+
+def conv_layer(name: str) -> ConvSpec:
+    """Look up a Table-1 convolution by name (``CV1``..``CV12``)."""
+    try:
+        return CONV_LAYERS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown conv layer {name!r}; known: {', '.join(CONV_LAYERS)}"
+        ) from None
+
+
+def pool_layer(name: str) -> PoolSpec:
+    """Look up a Table-1 pooling layer by name (``PL1``..``PL10``)."""
+    try:
+        return POOL_LAYERS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown pool layer {name!r}; known: {', '.join(POOL_LAYERS)}"
+        ) from None

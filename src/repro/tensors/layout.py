@@ -1,0 +1,111 @@
+"""4-D data layouts for CNN tensors.
+
+The paper's first observation is that the 4-D feature-map arrays
+``(N images, C channels, H height, W width)`` admit 24 storage orders and
+that the choice has large performance consequences.  A :class:`DataLayout`
+is a permutation of the logical axes ``N, C, H, W``; the *last* letter is
+the fastest-varying (unit-stride) dimension, matching the paper's notation
+("in the NCHW data layout, the elements along the lowest dimension W are
+stored consecutively in memory").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+LOGICAL_AXES = "NCHW"
+
+
+@dataclass(frozen=True, order=True)
+class DataLayout:
+    """An axis ordering for a 4-D CNN tensor.
+
+    ``order`` lists axes from slowest- to fastest-varying, e.g. ``"NCHW"``
+    (Caffe/cuDNN) or ``"CHWN"`` (cuda-convnet).
+    """
+
+    order: str
+
+    def __post_init__(self) -> None:
+        if sorted(self.order) != sorted(LOGICAL_AXES):
+            raise ValueError(
+                f"layout must be a permutation of {LOGICAL_AXES!r}, got {self.order!r}"
+            )
+
+    def __str__(self) -> str:
+        return self.order
+
+    @property
+    def lowest(self) -> str:
+        """The unit-stride (memory-consecutive) axis."""
+        return self.order[-1]
+
+    def axis_position(self, axis: str) -> int:
+        """Position of a logical axis in this layout (0 = slowest)."""
+        if axis not in LOGICAL_AXES:
+            raise ValueError(f"unknown axis {axis!r}")
+        return self.order.index(axis)
+
+    def permutation_from(self, other: "DataLayout") -> tuple[int, int, int, int]:
+        """Axes permutation mapping an ``other``-ordered array onto this layout.
+
+        Suitable for :func:`numpy.transpose`: ``arr_self = arr_other.transpose(p)``.
+        """
+        return tuple(other.order.index(axis) for axis in self.order)  # type: ignore[return-value]
+
+    def shape_of(self, n: int, c: int, h: int, w: int) -> tuple[int, int, int, int]:
+        """Physical array shape for logical dims (N, C, H, W)."""
+        dims = {"N": n, "C": c, "H": h, "W": w}
+        return tuple(dims[a] for a in self.order)  # type: ignore[return-value]
+
+    def strides_of(
+        self, n: int, c: int, h: int, w: int, itemsize: int = 4
+    ) -> dict[str, int]:
+        """Byte stride of each *logical* axis under this layout.
+
+        This is the quantity the paper reasons with: e.g. under NCHW,
+        consecutive elements along C are ``H*W`` apart.
+        """
+        shape = self.shape_of(n, c, h, w)
+        strides: dict[str, int] = {}
+        running = itemsize
+        for axis, extent in zip(reversed(self.order), reversed(shape)):
+            strides[axis] = running
+            running *= extent
+        return strides
+
+    def linear_index(
+        self, n: int, c: int, h: int, w: int, dims: tuple[int, int, int, int]
+    ) -> int:
+        """Flat element index of logical coordinate (n, c, h, w).
+
+        ``dims`` is the logical extents (N, C, H, W).  Used by the traced
+        kernel models to generate byte addresses.
+        """
+        coord = {"N": n, "C": c, "H": h, "W": w}
+        extent = dict(zip(LOGICAL_AXES, dims))
+        idx = 0
+        for axis in self.order:
+            idx = idx * extent[axis] + coord[axis]
+        return idx
+
+
+#: Caffe / cuDNN layout: images outermost, width unit-stride.
+NCHW = DataLayout("NCHW")
+#: cuda-convnet layout: batch unit-stride (coalesced over images).
+CHWN = DataLayout("CHWN")
+#: cuDNN's alternative channels-last layout.
+NHWC = DataLayout("NHWC")
+#: Equivalent-performance sibling of CHWN noted in Section IV.A.
+HWCN = DataLayout("HWCN")
+
+#: All 24 possible axis orders.
+ALL_LAYOUTS: tuple[DataLayout, ...] = tuple(
+    DataLayout("".join(p)) for p in permutations(LOGICAL_AXES)
+)
+
+
+def parse_layout(name: str) -> DataLayout:
+    """Parse a layout name like ``"nchw"`` into a :class:`DataLayout`."""
+    return DataLayout(name.strip().upper())

@@ -1,0 +1,114 @@
+"""Numeric layout transformations and their structural analysis.
+
+Two things live here:
+
+* :func:`transform` — the numerically exact relayout (the ground truth the
+  kernel models are validated against);
+* the structural helpers the fast GPU kernels rely on:
+  :func:`transpose_groups` detects when a 4-D permutation collapses to a
+  (batched) 2-D transpose — the paper's "matrix flatten 4D to 2D"
+  observation that C, H, W keep their relative order between NCHW and CHWN —
+  and :func:`relayout_linear_indices` maps flat source indices to flat
+  destination indices for the traced kernel models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+import numpy as np
+
+from .layout import DataLayout
+from .tensor import Tensor4D, TensorDesc
+
+
+def transform(tensor: Tensor4D, target: DataLayout) -> Tensor4D:
+    """Relayout a tensor (exact, NumPy-backed)."""
+    return tensor.to_layout(target)
+
+
+@dataclass(frozen=True)
+class TransposeGroups:
+    """A permutation expressed as a batched 2-D transpose.
+
+    The source order factors as ``batch + rows + cols`` (contiguous chunks)
+    and the destination as ``batch + cols + rows``.  ``rows``/``cols`` are
+    the merged extents of those chunks; the tiled kernels transpose a
+    ``rows x cols`` matrix per batch entry.
+    """
+
+    batch: int
+    rows: int
+    cols: int
+
+
+def transpose_groups(
+    src: DataLayout, dst: DataLayout, dims: tuple[int, int, int, int]
+) -> TransposeGroups | None:
+    """Detect whether ``src -> dst`` is a batched 2-D transpose.
+
+    Returns the merged group extents, or None when the permutation needs a
+    genuine 4-D shuffle.  ``dims`` is the logical (N, C, H, W) extents.
+    """
+    extent = dict(zip("NCHW", dims))
+    s, d = src.order, dst.order
+    if s == d:
+        return None
+    # Try every split of the source into batch | rows | cols with non-empty
+    # rows and cols such that dst == batch + cols + rows.
+    for b in range(0, 3):
+        for r in range(1, 4 - b):
+            batch, rows, cols = s[:b], s[b : b + r], s[b + r :]
+            if not cols:
+                continue
+            if d == batch + cols + rows:
+                return TransposeGroups(
+                    batch=prod(extent[a] for a in batch) if batch else 1,
+                    rows=prod(extent[a] for a in rows),
+                    cols=prod(extent[a] for a in cols),
+                )
+    return None
+
+
+def relayout_linear_indices(
+    desc: TensorDesc, target: DataLayout, linear_ids: np.ndarray
+) -> np.ndarray:
+    """Map flat indices in ``desc.layout`` order to flat indices in ``target``.
+
+    Vectorized; used by the traced transformation kernels to compute the
+    write addresses of threads that read the source in storage order.
+    """
+    ids = np.asarray(linear_ids, dtype=np.int64)
+    src_shape = desc.physical_shape
+    coords = np.unravel_index(ids.ravel(), src_shape)
+    by_axis = dict(zip(desc.layout.order, coords))
+    extent = dict(zip("NCHW", desc.dims))
+    out = np.zeros(ids.size, dtype=np.int64)
+    for axis in target.order:
+        out = out * extent[axis] + by_axis[axis]
+    return out.reshape(ids.shape)
+
+
+@dataclass(frozen=True)
+class TransformCost:
+    """Static cost metadata for one relayout."""
+
+    bytes_moved: int
+    workspace_bytes: int
+
+    @property
+    def useful_bytes(self) -> int:
+        return self.bytes_moved
+
+
+def transform_cost(desc: TensorDesc, target: DataLayout) -> TransformCost:
+    """Bytes moved (read + write) and scratch space for a relayout.
+
+    The workspace is the destination buffer — the paper's "additional memory
+    space overhead is only 73.5 MB ... freed right after the layout
+    transformation is completed" for AlexNet.
+    """
+    if target == desc.layout:
+        return TransformCost(bytes_moved=0, workspace_bytes=0)
+    return TransformCost(bytes_moved=2 * desc.nbytes, workspace_bytes=desc.nbytes)

@@ -1,0 +1,51 @@
+"""Pooling auto-tuner: hill climbing over (ux, uy)."""
+
+import pytest
+
+from repro.core import autotune_pooling
+from repro.networks import POOL_LAYERS
+
+
+class TestAutotune:
+    def test_overlapped_layer_gets_coarsened(self, device):
+        result = autotune_pooling(device, POOL_LAYERS["PL5"])
+        assert (result.ux, result.uy) != (1, 1)
+        assert result.speedup > 1.05
+
+    def test_non_overlapped_layer_stays_plain(self, device):
+        """No shared window data -> expansion only costs registers."""
+        result = autotune_pooling(device, POOL_LAYERS["PL1"])
+        assert (result.ux, result.uy) == (1, 1)
+        assert result.time_ms == result.baseline_ms
+
+    def test_never_worse_than_baseline(self, device):
+        for name, spec in POOL_LAYERS.items():
+            result = autotune_pooling(device, spec)
+            assert result.time_ms <= result.baseline_ms, name
+
+    def test_respects_max_factor(self, device):
+        result = autotune_pooling(device, POOL_LAYERS["PL8"], max_factor=3)
+        assert result.ux <= 3 and result.uy <= 3
+
+    def test_search_trace_recorded(self, device):
+        result = autotune_pooling(device, POOL_LAYERS["PL5"])
+        assert result.evaluations[0][:2] == (1, 1)
+        assert len(result.evaluations) >= 2
+
+    def test_hill_climb_is_cheap(self, device):
+        """The paper prunes with hill climbing; the search must stay small
+        compared to the full (max_factor^2) grid."""
+        result = autotune_pooling(device, POOL_LAYERS["PL5"], max_factor=8)
+        assert len(result.evaluations) < 20
+
+    def test_validation(self, device):
+        with pytest.raises(ValueError):
+            autotune_pooling(device, POOL_LAYERS["PL1"], max_factor=0)
+
+    def test_chosen_factors_beat_neighbours(self, device):
+        """Local optimality: the returned point is no worse than the
+        evaluated neighbours."""
+        result = autotune_pooling(device, POOL_LAYERS["PL6"])
+        best = result.time_ms
+        for ux, uy, t in result.evaluations:
+            assert best <= t + 1e-12

@@ -1,0 +1,47 @@
+"""Softmax fusion pass and its ablation report."""
+
+import pytest
+
+from repro.core import can_fuse_softmax, fuse_softmax, fusion_report
+from repro.layers import FusedParallelSoftmax, FusedSoftmax, SoftmaxSpec
+
+
+class TestFusePass:
+    def test_default_builds_parallel_kernel(self, device):
+        k = fuse_softmax(SoftmaxSpec(128, 1000), device)
+        assert isinstance(k, FusedParallelSoftmax)
+
+    def test_fusion_only_stage(self, device):
+        k = fuse_softmax(SoftmaxSpec(128, 1000), device, parallelize=False)
+        assert isinstance(k, FusedSoftmax)
+
+    def test_can_fuse_on_real_devices(self, device, titan_x):
+        assert can_fuse_softmax(SoftmaxSpec(128, 10000), device)
+        assert can_fuse_softmax(SoftmaxSpec(128, 10000), titan_x)
+
+
+class TestReport:
+    def test_stages_multiply(self, device):
+        rep = fusion_report(SoftmaxSpec(128, 1000), device)
+        assert rep.total_speedup == pytest.approx(
+            rep.fusion_speedup * rep.parallel_speedup, rel=1e-6
+        )
+
+    def test_four_launches_removed(self, device):
+        rep = fusion_report(SoftmaxSpec(64, 100), device)
+        assert rep.launches_removed == 4
+
+    def test_both_stages_help_large_configs(self, device):
+        rep = fusion_report(SoftmaxSpec(128, 10000), device)
+        assert rep.fusion_speedup > 1.5
+        assert rep.parallel_speedup > 2.0
+
+    def test_fusion_dominates_small_configs(self, device):
+        """Tiny layers are launch-overhead bound: fusion (5 launches -> 1)
+        is most of the win."""
+        rep = fusion_report(SoftmaxSpec(32, 10), device)
+        assert rep.fusion_speedup > rep.parallel_speedup
+
+    def test_dram_passes_removed(self, device):
+        rep = fusion_report(SoftmaxSpec(128, 1000), device)
+        assert rep.dram_passes_removed == 8

@@ -1,0 +1,72 @@
+"""Layout-selection heuristic: the (Ct, Nt) rules of Section IV.A."""
+
+import pytest
+
+from repro.core import (
+    LayoutThresholds,
+    PAPER_THRESHOLDS,
+    explain_conv_choice,
+    preferred_conv_layout,
+    preferred_pool_layout,
+    thresholds_for,
+)
+from repro.gpusim import TITAN_BLACK, TITAN_X
+from repro.networks import CONV_LAYERS, POOL_LAYERS
+from repro.tensors import CHWN, NCHW
+
+TB = PAPER_THRESHOLDS["GTX Titan Black"]
+
+
+class TestRules:
+    def test_small_c_prefers_chwn(self):
+        assert preferred_conv_layout(CONV_LAYERS["CV1"], TB) == CHWN  # C=1
+        assert preferred_conv_layout(CONV_LAYERS["CV9"], TB) == CHWN  # C=3
+
+    def test_large_batch_prefers_chwn(self):
+        assert preferred_conv_layout(CONV_LAYERS["CV4"], TB) == CHWN  # N=128, C=64
+
+    def test_otherwise_nchw(self):
+        for name in ("CV6", "CV7", "CV8", "CV10", "CV11", "CV12"):
+            assert preferred_conv_layout(CONV_LAYERS[name], TB) == NCHW, name
+
+    def test_paper_table1_classification(self):
+        """Section VI.A: 'all the benchmarking layers in Table 1 confirm the
+        effectiveness of our heuristics'."""
+        expected_chwn = {"CV1", "CV2", "CV3", "CV4", "CV5", "CV9"}
+        got_chwn = {
+            name
+            for name, spec in CONV_LAYERS.items()
+            if preferred_conv_layout(spec, TB) == CHWN
+        }
+        assert got_chwn == expected_chwn
+
+    def test_pooling_always_chwn(self):
+        for spec in POOL_LAYERS.values():
+            assert preferred_pool_layout(spec) == CHWN
+
+
+class TestThresholds:
+    def test_paper_values(self):
+        assert TB == LayoutThresholds(ct=32, nt=128)
+        assert PAPER_THRESHOLDS["GTX Titan X"] == LayoutThresholds(ct=128, nt=64)
+
+    def test_thresholds_for_devices(self):
+        assert thresholds_for(TITAN_BLACK).nt == 128
+        assert thresholds_for(TITAN_X).nt == 64
+
+    def test_titan_x_shifts_decisions(self):
+        """A C=64/N=64 layer flips layouts between the two GPUs."""
+        spec = CONV_LAYERS["CV4"].with_batch(64)  # C=64, N=64
+        assert preferred_conv_layout(spec, thresholds_for(TITAN_BLACK)) == NCHW
+        assert preferred_conv_layout(spec, thresholds_for(TITAN_X)) == CHWN
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayoutThresholds(ct=0, nt=128)
+
+
+class TestExplanations:
+    def test_each_rule_is_named(self):
+        assert "Ct" in explain_conv_choice(CONV_LAYERS["CV1"], TB)
+        assert "Nt" in explain_conv_choice(CONV_LAYERS["CV4"], TB)
+        assert "NCHW" in explain_conv_choice(CONV_LAYERS["CV7"], TB)

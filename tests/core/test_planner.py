@@ -1,0 +1,123 @@
+"""Layout planner: DP optimality, heuristic quality, transform accounting."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    plan_optimal,
+    plan_single_layout,
+    plan_with_heuristic,
+)
+from repro.core.planner import PLAN_LAYOUTS, NodeKind, PlanNode
+from repro.framework import Net
+from repro.networks import build_network
+from repro.tensors import CHWN, NCHW
+
+
+@pytest.fixture(scope="module")
+def alexnet_nodes(device=None):
+    from repro.gpusim import TITAN_BLACK
+
+    return Net(build_network("alexnet")).planner_nodes(TITAN_BLACK)
+
+
+@pytest.fixture(scope="module")
+def lenet_nodes():
+    from repro.gpusim import TITAN_BLACK
+
+    return Net(build_network("lenet")).planner_nodes(TITAN_BLACK)
+
+
+class TestSingleLayoutPlans:
+    def test_both_layouts_produce_plans(self, device, lenet_nodes):
+        for layout in (CHWN, NCHW):
+            plan = plan_single_layout(device, lenet_nodes, layout)
+            assert plan.total_ms > 0
+            assert plan.transform_count == 0
+
+    def test_lenet_prefers_chwn_globally(self, device, lenet_nodes):
+        chwn = plan_single_layout(device, lenet_nodes, CHWN)
+        nchw = plan_single_layout(device, lenet_nodes, NCHW)
+        assert chwn.total_ms < nchw.total_ms
+
+
+class TestOptimalPlan:
+    def test_never_worse_than_any_single_layout(self, device, alexnet_nodes):
+        opt = plan_optimal(device, alexnet_nodes)
+        for layout in PLAN_LAYOUTS:
+            single = plan_single_layout(device, alexnet_nodes, layout, tune_pooling=True)
+            assert opt.total_ms <= single.total_ms + 1e-9
+
+    def test_matches_brute_force_on_small_chain(self, device, lenet_nodes):
+        """DP == exhaustive enumeration over layout assignments."""
+        from repro.core.planner import _assemble, _build_costs, _transform_ms
+
+        nodes = lenet_nodes
+        costs = _build_costs(device, nodes, tune_pooling=True, allow_fft=True)
+        best_total = None
+        for combo in itertools.product(PLAN_LAYOUTS, repeat=len(nodes)):
+            total = costs[0].cost(combo[0])
+            for i in range(1, len(nodes)):
+                total += _transform_ms(device, nodes[i], combo[i - 1], combo[i])
+                total += costs[i].cost(combo[i])
+            best_total = total if best_total is None else min(best_total, total)
+        dp = plan_optimal(device, nodes)
+        assert dp.total_ms == pytest.approx(best_total, rel=1e-9)
+
+    def test_alexnet_plan_matches_paper_fig15(self, device, alexnet_nodes):
+        """Fig. 15: CHWN for CV1, NCHW for CV2-CV5, CHWN pooling, and a
+        small number of transforms ('four data layout transformations')."""
+        plan = plan_optimal(device, alexnet_nodes)
+        by_name = {s.name: s for s in plan.steps}
+        assert by_name["conv1"].layout == CHWN
+        for conv in ("conv2", "conv3", "conv4", "conv5"):
+            assert by_name[conv].layout == NCHW, conv
+        for pool in ("pool1", "pool2", "pool3"):
+            assert by_name[pool].layout == CHWN, pool
+        assert 2 <= plan.transform_count <= 6
+
+    def test_transform_overhead_is_minor(self, device, alexnet_nodes):
+        """Fig. 15: 'only minor overhead is incurred'."""
+        plan = plan_optimal(device, alexnet_nodes)
+        assert plan.transform_ms < 0.1 * plan.total_ms
+
+    def test_empty_chain(self, device):
+        plan = plan_optimal(device, [])
+        assert plan.total_ms == 0.0
+
+
+class TestHeuristicPlan:
+    def test_close_to_optimal_on_all_networks(self, device):
+        for name in ("lenet", "cifar", "zfnet"):
+            nodes = Net(build_network(name)).planner_nodes(device)
+            heuristic = plan_with_heuristic(device, nodes)
+            optimal = plan_optimal(device, nodes)
+            assert heuristic.total_ms <= 1.5 * optimal.total_ms, name
+
+    def test_lenet_is_all_chwn_no_transforms(self, device, lenet_nodes):
+        plan = plan_with_heuristic(device, lenet_nodes)
+        conv_pool = [s for s in plan.steps if s.kind in (NodeKind.CONV, NodeKind.POOL)]
+        assert all(s.layout == CHWN for s in conv_pool)
+        assert plan.transform_count == 0
+
+    def test_summary_renders(self, device, lenet_nodes):
+        plan = plan_with_heuristic(device, lenet_nodes)
+        text = plan.summary()
+        assert "conv1" in text and "ms" in text
+
+
+class TestPlanNodeEdgeCases:
+    def test_isolated_conv_node(self, device):
+        from repro.networks import CONV_LAYERS
+
+        node = PlanNode("cv7", NodeKind.CONV, CONV_LAYERS["CV7"], in_dims=(64, 256, 13, 13))
+        plan = plan_optimal(device, [node])
+        assert plan.steps[0].layout == NCHW  # NCHW wins CV7
+
+    def test_elementwise_nodes_are_transparent(self, device):
+        node = PlanNode("relu", NodeKind.ELEMENTWISE, None, fixed_ms=0.5,
+                        in_dims=(8, 8, 8, 8))
+        plan = plan_optimal(device, [node])
+        assert plan.steps[0].layer_ms == 0.5
+        assert plan.steps[0].layout is None

@@ -1,0 +1,94 @@
+"""Set-associative LRU cache model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import SetAssociativeCache, unique_line_hits
+
+
+def small_cache(capacity=1024, line=32, assoc=2):
+    return SetAssociativeCache(capacity, line, assoc)
+
+
+class TestBasics:
+    def test_geometry(self):
+        c = small_cache()
+        assert c.n_sets == 1024 // (32 * 2)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 32, 3)  # not a multiple
+
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(31) is True  # same line
+        assert c.access(32) is False  # next line
+
+    def test_stats(self):
+        c = small_cache()
+        c.access_stream(np.array([0, 0, 64, 64, 0]))
+        assert c.stats.accesses == 5
+        assert c.stats.hits == 3
+        assert c.stats.misses == 2
+        assert c.stats.hit_rate == pytest.approx(0.6)
+
+    def test_reset(self):
+        c = small_cache()
+        c.access(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.access(0) is False
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            small_cache().access_stream(np.array([-1]))
+
+
+class TestLRU:
+    def test_eviction_order_is_lru(self):
+        # assoc=2, line=32: addresses 0, n_sets*32, 2*n_sets*32 map to set 0.
+        c = small_cache(capacity=256, line=32, assoc=2)  # 4 sets
+        s = c.n_sets * 32
+        c.access(0)      # miss, set0 way0
+        c.access(s)      # miss, set0 way1
+        c.access(0)      # hit, 0 becomes MRU
+        c.access(2 * s)  # miss, evicts s (LRU)
+        assert c.access(0) is True
+        assert c.access(s) is False  # was evicted
+
+    def test_working_set_within_capacity_all_hits_second_pass(self):
+        c = SetAssociativeCache(4096, 32, 4)
+        addrs = np.arange(0, 4096, 32)
+        c.access_stream(addrs)
+        hits = c.access_stream(addrs)
+        assert hits.all()
+
+    def test_streaming_larger_than_capacity_thrashes(self):
+        c = SetAssociativeCache(1024, 32, 2)
+        addrs = np.arange(0, 16 * 1024, 32)
+        c.access_stream(addrs)
+        hits = c.access_stream(addrs)
+        assert not hits.any()  # sequential sweep defeats LRU
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_hits_never_exceed_infinite_cache_bound(self, seed):
+        rng = np.random.default_rng(seed)
+        addrs = rng.integers(0, 64 * 1024, size=200) * 4
+        c = SetAssociativeCache(2048, 32, 2)
+        hits = int(c.access_stream(addrs).sum())
+        _, inf_hits = unique_line_hits(addrs, 32)
+        assert hits <= inf_hits
+
+
+class TestUniqueLineHits:
+    def test_counts(self):
+        accesses, hits = unique_line_hits(np.array([0, 4, 8, 64]), 32)
+        assert accesses == 4
+        assert hits == 2  # 0/4/8 share a line

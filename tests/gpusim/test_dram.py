@@ -1,0 +1,88 @@
+"""DRAM service-time model: each limiting mechanism in isolation."""
+
+import pytest
+
+from repro.gpusim import (
+    LaunchConfig,
+    MemoryProfile,
+    compute_occupancy,
+    memory_service_time,
+)
+
+
+def occ_full(device):
+    return compute_occupancy(
+        device, LaunchConfig(grid=(4096,), block=(256,), regs_per_thread=32)
+    )
+
+
+def occ_tiny(device):
+    return compute_occupancy(device, LaunchConfig(grid=(1,), block=(64,)))
+
+
+class TestBandwidthTerm:
+    def test_streaming_kernel_is_bandwidth_limited(self, device):
+        prof = MemoryProfile.coalesced(1e9, 1e9)
+        mem = memory_service_time(device, prof, occ_full(device))
+        assert mem.limiter == "dram_bandwidth"
+        expected = 2e9 / (device.mem_bandwidth_gbs * 1e9 * device.bw_eff_4b)
+        assert mem.bandwidth_s == pytest.approx(expected, rel=1e-6)
+
+    def test_l2_hits_shrink_dram_bytes(self, device):
+        hot = MemoryProfile(1e9, 0.0, 1e9 / 32, 0.0, l2_hit_rate=0.8)
+        cold = MemoryProfile(1e9, 0.0, 1e9 / 32, 0.0, l2_hit_rate=0.0)
+        occ = occ_full(device)
+        assert (
+            memory_service_time(device, hot, occ).dram_bytes
+            == pytest.approx(0.2 * memory_service_time(device, cold, occ).dram_bytes)
+        )
+
+    def test_low_occupancy_degrades_bandwidth(self, device):
+        prof = MemoryProfile.coalesced(1e8, 0.0)
+        full = memory_service_time(device, prof, occ_full(device))
+        tiny = memory_service_time(device, prof, occ_tiny(device))
+        assert tiny.bandwidth_s > 5 * full.bandwidth_s
+
+
+class TestIssueTerm:
+    def test_uncoalesced_kernel_is_issue_limited(self, device):
+        # one transaction per 4-byte element, but all L2 hits: DRAM light,
+        # LSU heavy.
+        elements = 1e8
+        prof = MemoryProfile(
+            elements * 4, 0.0, elements, 0.0, l2_hit_rate=0.99
+        )
+        mem = memory_service_time(device, prof, occ_full(device))
+        assert mem.limiter == "transaction_issue"
+        expected = elements / (device.sm_count * device.clock_ghz * 1e9)
+        assert mem.lsu_s == pytest.approx(expected, rel=1e-6)
+
+    def test_bank_conflicts_multiply_issue_time(self, device):
+        base = MemoryProfile.coalesced(1e8, 0.0)
+        conflicted = MemoryProfile.coalesced(1e8, 0.0, smem_conflict_degree=8.0)
+        occ = occ_full(device)
+        assert memory_service_time(device, conflicted, occ).lsu_s == pytest.approx(
+            8 * memory_service_time(device, base, occ).lsu_s
+        )
+
+
+class TestLatencyTerm:
+    def test_dependent_chain_sets_a_floor(self, device):
+        prof = MemoryProfile(
+            4096.0, 0.0, 128.0, 0.0, dependent_iterations=10_000.0
+        )
+        mem = memory_service_time(device, prof, occ_tiny(device))
+        latency_sec = device.mem_latency_cycles / (device.clock_ghz * 1e9)
+        floor = 10_000.0 / device.arch.mlp_per_thread * latency_sec
+        assert mem.latency_s >= floor * 0.999
+
+    def test_zero_traffic_costs_nothing(self, device):
+        prof = MemoryProfile(0.0, 0.0, 0.0, 0.0)
+        mem = memory_service_time(device, prof, occ_full(device))
+        assert mem.total_s == 0.0
+        assert mem.dram_bytes == 0.0
+
+    def test_total_is_the_max_of_the_terms(self, device):
+        prof = MemoryProfile.coalesced(1e9, 1e8, l2_hit_rate=0.3)
+        mem = memory_service_time(device, prof, occ_full(device))
+        assert mem.total_s == max(mem.bandwidth_s, mem.lsu_s, mem.latency_s)

@@ -1,0 +1,140 @@
+"""Property-based sanity laws of the timing model.
+
+These are the monotonicity/boundedness guarantees any credible performance
+model must satisfy — more work never takes less time, efficiency never
+exceeds the roofline, occupancy responds to resources the right way.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import (
+    LaunchConfig,
+    MemoryProfile,
+    TITAN_BLACK,
+    compute_occupancy,
+    roofline_point,
+    time_kernel,
+)
+
+launches = st.builds(
+    LaunchConfig,
+    grid=st.tuples(st.integers(1, 4096)),
+    block=st.tuples(st.sampled_from([32, 64, 128, 256, 512])),
+    regs_per_thread=st.sampled_from([16, 32, 64, 128]),
+    smem_per_block=st.sampled_from([0, 4096, 16384]),
+)
+
+
+def profile_of(bytes_, trans_factor=1.0, hit=0.0):
+    return MemoryProfile(
+        load_bytes=bytes_,
+        store_bytes=bytes_ / 4,
+        load_transactions=bytes_ / 32 * trans_factor,
+        store_transactions=bytes_ / 128,
+        l2_hit_rate=hit,
+    )
+
+
+class TestMonotonicity:
+    @given(
+        launch=launches,
+        flops=st.floats(1e6, 1e12),
+        scale=st.floats(1.1, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_more_flops_never_faster(self, launch, flops, scale):
+        prof = profile_of(1e7)
+        t1 = time_kernel(TITAN_BLACK, launch, flops, 0.5, prof).time_ms
+        t2 = time_kernel(TITAN_BLACK, launch, flops * scale, 0.5, prof).time_ms
+        assert t2 >= t1
+
+    @given(
+        launch=launches,
+        bytes_=st.floats(1e5, 1e9),
+        scale=st.floats(1.1, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_more_bytes_never_faster(self, launch, bytes_, scale):
+        t1 = time_kernel(TITAN_BLACK, launch, 1e6, 0.5, profile_of(bytes_)).time_ms
+        t2 = time_kernel(
+            TITAN_BLACK, launch, 1e6, 0.5, profile_of(bytes_ * scale)
+        ).time_ms
+        assert t2 >= t1
+
+    @given(launch=launches, bytes_=st.floats(1e6, 1e9), hit=st.floats(0.0, 0.99))
+    @settings(max_examples=40, deadline=None)
+    def test_l2_hits_never_hurt(self, launch, bytes_, hit):
+        cold = time_kernel(TITAN_BLACK, launch, 0.0, 0.5, profile_of(bytes_)).time_ms
+        warm = time_kernel(
+            TITAN_BLACK, launch, 0.0, 0.5, profile_of(bytes_, hit=hit)
+        ).time_ms
+        assert warm <= cold + 1e-12
+
+    @given(launch=launches, eff=st.floats(0.05, 1.0), scale=st.floats(1.1, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_higher_efficiency_never_slower(self, launch, eff, scale):
+        prof = profile_of(1e6)
+        low = time_kernel(TITAN_BLACK, launch, 1e11, eff / scale, prof).time_ms
+        high = time_kernel(TITAN_BLACK, launch, 1e11, eff, prof).time_ms
+        assert high <= low
+
+
+class TestBounds:
+    @given(launch=launches, flops=st.floats(1e6, 1e13), bytes_=st.floats(1e5, 1e10))
+    @settings(max_examples=50, deadline=None)
+    def test_never_beats_the_roofline(self, launch, flops, bytes_):
+        stats = time_kernel(TITAN_BLACK, launch, flops, 1.0, profile_of(bytes_))
+        point = roofline_point(TITAN_BLACK, stats)
+        assert stats.achieved_gflops <= point.roof_gflops * 1.001
+        assert stats.achieved_gflops <= TITAN_BLACK.peak_gflops
+
+    @given(launch=launches, bytes_=st.floats(1e5, 1e10))
+    @settings(max_examples=40, deadline=None)
+    def test_bandwidth_never_exceeds_effective(self, launch, bytes_):
+        stats = time_kernel(TITAN_BLACK, launch, 0.0, 0.5, profile_of(bytes_))
+        assert stats.achieved_bandwidth_gbs <= TITAN_BLACK.mem_bandwidth_gbs * 1.001
+
+    @given(launch=launches)
+    @settings(max_examples=40, deadline=None)
+    def test_time_at_least_launch_overhead(self, launch):
+        stats = time_kernel(TITAN_BLACK, launch, 1.0, 1.0, profile_of(32.0))
+        assert stats.time_ms >= TITAN_BLACK.launch_overhead_us * 1e-3
+
+
+class TestOccupancyLaws:
+    @given(block=st.sampled_from([32, 64, 128, 256]), regs=st.sampled_from([16, 32, 64]))
+    @settings(max_examples=30, deadline=None)
+    def test_more_registers_never_raise_occupancy(self, block, regs):
+        low = compute_occupancy(
+            TITAN_BLACK, LaunchConfig(grid=(512,), block=(block,), regs_per_thread=regs)
+        )
+        high = compute_occupancy(
+            TITAN_BLACK,
+            LaunchConfig(grid=(512,), block=(block,), regs_per_thread=2 * regs),
+        )
+        assert high.active_warps_per_sm <= low.active_warps_per_sm
+
+    @given(
+        block=st.sampled_from([64, 128, 256]),
+        smem=st.sampled_from([0, 8 * 1024, 24 * 1024, 48 * 1024]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_more_shared_memory_never_raises_occupancy(self, block, smem):
+        base = compute_occupancy(
+            TITAN_BLACK, LaunchConfig(grid=(512,), block=(block,))
+        )
+        loaded = compute_occupancy(
+            TITAN_BLACK,
+            LaunchConfig(grid=(512,), block=(block,), smem_per_block=smem),
+        )
+        assert loaded.active_warps_per_sm <= base.active_warps_per_sm
+
+    @given(launch=launches)
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_fraction_bounded(self, launch):
+        occ = compute_occupancy(TITAN_BLACK, launch)
+        assert 0 < occ.fraction <= 1.0
+        assert occ.blocks_per_sm >= 1

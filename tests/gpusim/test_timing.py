@@ -1,0 +1,159 @@
+"""Analytic timing model: roofline behaviour, latency bound, launch overhead."""
+
+import pytest
+
+from repro.gpusim import (
+    LaunchConfig,
+    MemoryProfile,
+    memory_service_time,
+    compute_occupancy,
+    time_kernel,
+)
+
+
+def full_launch(device, blocks=4096):
+    return LaunchConfig(grid=(blocks, 1, 1), block=(256, 1, 1), regs_per_thread=32)
+
+
+class TestMemoryProfile:
+    def test_dram_bytes_respects_l2_hits(self):
+        p = MemoryProfile(
+            load_bytes=1000.0, store_bytes=0.0,
+            load_transactions=100.0, store_transactions=0.0, l2_hit_rate=0.75,
+        )
+        assert p.dram_bytes(32) == pytest.approx(25 * 32)
+
+    def test_stores_are_write_through(self):
+        p = MemoryProfile(0.0, 3200.0, 0.0, 100.0)
+        assert p.dram_bytes(32) == pytest.approx(3200)
+
+    def test_coalesced_constructor(self):
+        p = MemoryProfile.coalesced(load_bytes=3200.0, store_bytes=320.0)
+        assert p.load_transactions == 100.0
+        assert p.store_transactions == 10.0
+
+    def test_scaled(self):
+        p = MemoryProfile.coalesced(100.0, 100.0).scaled(2.0)
+        assert p.load_bytes == 200.0
+        assert p.load_transactions == pytest.approx(200.0 / 32)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryProfile(-1.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            MemoryProfile(0.0, 0.0, 0.0, 0.0, l2_hit_rate=1.5)
+        with pytest.raises(ValueError):
+            MemoryProfile(0.0, 0.0, 0.0, 0.0, smem_conflict_degree=0.5)
+
+
+class TestRoofline:
+    def test_memory_bound_kernel(self, device):
+        gib = float(1 << 30)
+        stats = time_kernel(
+            device, full_launch(device), flops=1e6, alu_efficiency=0.5,
+            profile=MemoryProfile.coalesced(gib, gib),
+        )
+        assert stats.bound == "dram_bandwidth"
+        # 2 GiB at 235 GB/s * 0.87 width efficiency.
+        expected_ms = 2 * gib / (235e9 * 0.87) * 1e3
+        assert stats.time_ms == pytest.approx(expected_ms, rel=0.05)
+
+    def test_compute_bound_kernel(self, device):
+        stats = time_kernel(
+            device, full_launch(device), flops=1e12, alu_efficiency=0.5,
+            profile=MemoryProfile.coalesced(1e6, 1e6),
+        )
+        assert stats.bound == "compute"
+        assert stats.time_ms == pytest.approx(1e12 / (5121e9 * 0.5) * 1e3, rel=0.01)
+
+    def test_achieved_bandwidth_capped_by_width_efficiency(self, device):
+        gib = float(1 << 30)
+        stats = time_kernel(
+            device, full_launch(device), flops=0.0, alu_efficiency=0.5,
+            profile=MemoryProfile.coalesced(gib, gib),
+        )
+        assert stats.achieved_bandwidth_gbs <= device.mem_bandwidth_gbs
+
+    def test_vectorized_access_is_faster(self, device):
+        gib = float(1 << 30)
+        t4 = time_kernel(
+            device, full_launch(device), 0.0, 0.5,
+            MemoryProfile.coalesced(gib, gib, access_bytes=4),
+        ).time_ms
+        t8 = time_kernel(
+            device, full_launch(device), 0.0, 0.5,
+            MemoryProfile.coalesced(gib, gib, access_bytes=8),
+        ).time_ms
+        assert t8 < t4
+
+
+class TestLatencyBound:
+    def test_few_threads_are_latency_bound(self, device):
+        """The paper's 128-thread softmax kernels cannot hide latency."""
+        launch = LaunchConfig(grid=(1, 1, 1), block=(128, 1, 1))
+        mb = 4e6
+        stats = time_kernel(
+            device, launch, flops=0.0, alu_efficiency=0.25,
+            profile=MemoryProfile(
+                load_bytes=mb, store_bytes=0.0,
+                load_transactions=1e6, store_transactions=0.0,
+                dependent_iterations=1000.0,
+            ),
+        )
+        # Either label is a latency story: too few threads to hide latency
+        # (memory_latency) or to saturate the bus (degraded dram_bandwidth).
+        assert stats.bound in ("memory_latency", "dram_bandwidth")
+        full = time_kernel(
+            device, full_launch(device), flops=0.0, alu_efficiency=0.25,
+            profile=MemoryProfile.coalesced(mb, 0.0),
+        )
+        assert stats.time_ms > 10 * full.time_ms
+
+    def test_transaction_issue_bound_for_uncoalesced(self, device):
+        """1 transaction per element: the LSU term dominates DRAM time."""
+        elements = 1e7
+        stats = time_kernel(
+            device, full_launch(device), flops=0.0, alu_efficiency=0.25,
+            profile=MemoryProfile(
+                load_bytes=elements * 4, store_bytes=0.0,
+                load_transactions=elements, store_transactions=0.0,
+                l2_hit_rate=0.9,
+            ),
+        )
+        assert stats.bound == "transaction_issue"
+
+
+class TestLaunchOverhead:
+    def test_tiny_kernel_dominated_by_launch(self, device):
+        stats = time_kernel(
+            device, LaunchConfig(grid=(1, 1, 1), block=(32, 1, 1)),
+            flops=100.0, alu_efficiency=0.5,
+            profile=MemoryProfile.coalesced(128.0, 128.0),
+        )
+        assert stats.bound == "launch_overhead"
+        assert stats.time_ms >= device.launch_overhead_us * 1e-3
+
+    def test_n_launches_multiplies_overhead(self, device):
+        profile = MemoryProfile.coalesced(128.0, 128.0)
+        launch = LaunchConfig(grid=(1, 1, 1), block=(32, 1, 1))
+        one = time_kernel(device, launch, 0.0, 0.5, profile, n_launches=1)
+        five = time_kernel(device, launch, 0.0, 0.5, profile, n_launches=5)
+        assert five.launch_ms == pytest.approx(5 * one.launch_ms)
+
+
+class TestServiceTimes:
+    def test_limiter_labels(self, device):
+        occ = compute_occupancy(device, full_launch(device))
+        mem = memory_service_time(
+            device, MemoryProfile.coalesced(1e9, 1e9), occ
+        )
+        assert mem.limiter == "dram_bandwidth"
+        assert mem.total_s == pytest.approx(mem.bandwidth_s)
+
+    def test_bank_conflicts_inflate_issue_time(self, device):
+        occ = compute_occupancy(device, full_launch(device))
+        clean = MemoryProfile.coalesced(1e8, 1e8)
+        conflicted = MemoryProfile.coalesced(1e8, 1e8, smem_conflict_degree=32.0)
+        t_clean = memory_service_time(device, clean, occ)
+        t_bad = memory_service_time(device, conflicted, occ)
+        assert t_bad.lsu_s == pytest.approx(32 * t_clean.lsu_s)

@@ -1,0 +1,204 @@
+"""Backward passes verified against central finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layers import ConvSpec, PoolSpec, SoftmaxSpec
+from repro.layers.backward import (
+    conv_backward,
+    cross_entropy_loss,
+    fc_backward,
+    lrn_backward,
+    pool_backward,
+    relu_backward,
+    softmax_backward,
+)
+from repro.layers.conv import conv_direct, make_filters
+from repro.layers.elementwise import LRNSpec, lrn_forward
+from repro.layers.pooling import pool_plain
+from repro.layers.softmax import softmax_fused
+
+RNG = np.random.default_rng(0)
+
+
+def numeric_grad(f, x, dout, eps=1e-3):
+    """Central finite differences of sum(f(x) * dout) w.r.t. x."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = float((f(x.astype(np.float32)).astype(np.float64) * dout).sum())
+        x[idx] = orig - eps
+        lo = float((f(x.astype(np.float32)).astype(np.float64) * dout).sum())
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestConvBackward:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ConvSpec(n=2, ci=2, h=5, w=5, co=3, fh=3, fw=3),
+            ConvSpec(n=1, ci=1, h=6, w=6, co=2, fh=3, fw=3, stride=2),
+            ConvSpec(n=2, ci=2, h=4, w=4, co=2, fh=3, fw=3, pad=1),
+        ],
+    )
+    def test_matches_finite_differences(self, spec):
+        x = RNG.standard_normal((spec.n, spec.ci, spec.h, spec.w)).astype(np.float32)
+        w = make_filters(spec, seed=7)
+        dout = RNG.standard_normal(
+            (spec.n, spec.co, spec.out_h, spec.out_w)
+        ).astype(np.float64)
+        dx, dw = conv_backward(x, w, dout, spec)
+        num_dx = numeric_grad(lambda xx: conv_direct(xx, w, spec), x, dout)
+        np.testing.assert_allclose(dx, num_dx, rtol=2e-2, atol=2e-3)
+        num_dw = numeric_grad(
+            lambda ww: conv_direct(x, ww.astype(np.float32), spec), w, dout
+        )
+        np.testing.assert_allclose(dw, num_dw, rtol=2e-2, atol=2e-3)
+
+    def test_shape_validation(self):
+        spec = ConvSpec(n=1, ci=1, h=4, w=4, co=1, fh=3, fw=3)
+        with pytest.raises(ValueError):
+            conv_backward(
+                np.zeros((1, 1, 4, 4), np.float32),
+                make_filters(spec),
+                np.zeros((1, 1, 3, 3), np.float32),
+                spec,
+            )
+
+
+class TestPoolBackward:
+    @pytest.mark.parametrize("op", ["max", "avg"])
+    @pytest.mark.parametrize("h,window,stride", [(6, 2, 2), (5, 3, 2), (6, 3, 2)])
+    def test_matches_finite_differences(self, op, h, window, stride):
+        spec = PoolSpec(n=1, c=2, h=h, w=h, window=window, stride=stride, op=op)
+        # Distinct values avoid max ties, where the subgradient is ambiguous.
+        x = RNG.permutation(np.arange(spec.n * spec.c * h * h, dtype=np.float32))
+        x = x.reshape(spec.n, spec.c, h, h)
+        dout = RNG.standard_normal(
+            (spec.n, spec.c, spec.out_h, spec.out_w)
+        ).astype(np.float64)
+        dx = pool_backward(x, dout, spec)
+        num = numeric_grad(lambda xx: pool_plain(xx, spec), x, dout, eps=1e-2)
+        np.testing.assert_allclose(dx, num, rtol=2e-2, atol=2e-3)
+
+    def test_max_gradient_is_sparse(self):
+        spec = PoolSpec(n=1, c=1, h=4, w=4, window=2, stride=2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        dout = np.ones((1, 1, 2, 2), dtype=np.float64)
+        dx = pool_backward(x, dout, spec)
+        assert (dx != 0).sum() == 4  # one winner per window
+
+    def test_avg_gradient_is_uniform(self):
+        spec = PoolSpec(n=1, c=1, h=4, w=4, window=2, stride=2, op="avg")
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        dout = np.ones((1, 1, 2, 2), dtype=np.float64)
+        dx = pool_backward(x, dout, spec)
+        np.testing.assert_allclose(dx, 0.25)
+
+    def test_gradient_mass_is_conserved(self):
+        """Sum of dx equals sum of dout for avg pooling (partition of unity)."""
+        spec = PoolSpec(n=2, c=3, h=7, w=7, window=3, stride=2, op="avg")
+        x = RNG.standard_normal((2, 3, 7, 7)).astype(np.float32)
+        dout = RNG.standard_normal((2, 3, spec.out_h, spec.out_w))
+        dx = pool_backward(x, dout, spec)
+        assert dx.sum() == pytest.approx(dout.sum(), rel=1e-4)
+
+
+class TestSoftmaxBackward:
+    def test_jvp_matches_finite_differences(self):
+        spec = SoftmaxSpec(n=3, categories=6)
+        x = RNG.standard_normal((3, 6)).astype(np.float32)
+        dout = RNG.standard_normal((3, 6)).astype(np.float64)
+        probs = softmax_fused(x, spec)
+        dx = softmax_backward(probs, dout, spec)
+        num = numeric_grad(lambda xx: softmax_fused(xx, spec), x, dout)
+        np.testing.assert_allclose(dx, num, rtol=2e-2, atol=2e-3)
+
+    def test_gradient_rows_sum_to_zero(self):
+        spec = SoftmaxSpec(n=4, categories=8)
+        x = RNG.standard_normal((4, 8)).astype(np.float32)
+        dx = softmax_backward(
+            softmax_fused(x, spec), RNG.standard_normal((4, 8)), spec
+        )
+        np.testing.assert_allclose(dx.sum(axis=1), 0.0, atol=1e-5)
+
+
+class TestCrossEntropy:
+    def test_loss_value(self):
+        spec = SoftmaxSpec(n=2, categories=3)
+        logits = np.log(np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]], np.float32))
+        labels = np.array([0, 1])
+        loss, _ = cross_entropy_loss(logits, labels, spec)
+        assert loss == pytest.approx(-(np.log(0.7) + np.log(0.8)) / 2, rel=1e-4)
+
+    def test_gradient_matches_finite_differences(self):
+        spec = SoftmaxSpec(n=3, categories=5)
+        logits = RNG.standard_normal((3, 5)).astype(np.float32)
+        labels = np.array([1, 4, 0])
+
+        def loss_of(xx):
+            return np.array([cross_entropy_loss(xx, labels, spec)[0]])
+
+        _, dlogits = cross_entropy_loss(logits, labels, spec)
+        num = numeric_grad(loss_of, logits, np.ones(1))
+        np.testing.assert_allclose(dlogits, num, rtol=2e-2, atol=2e-3)
+
+    def test_label_validation(self):
+        spec = SoftmaxSpec(n=2, categories=3)
+        with pytest.raises(ValueError):
+            cross_entropy_loss(np.zeros((2, 3), np.float32), np.array([0, 3]), spec)
+
+
+class TestFCBackward:
+    @given(
+        n=st.integers(1, 4), fin=st.integers(1, 6), fout=st.integers(1, 5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_analytic_identities(self, n, fin, fout, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, fin)).astype(np.float32)
+        w = rng.standard_normal((fin, fout)).astype(np.float32)
+        dy = rng.standard_normal((n, fout)).astype(np.float32)
+        dx, dw, db = fc_backward(x, w, dy)
+        np.testing.assert_allclose(dx, dy @ w.T, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(dw, x.T @ dy, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(db, dy.sum(0), rtol=1e-4, atol=1e-5)
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            fc_backward(
+                np.zeros((2, 3), np.float32),
+                np.zeros((3, 4), np.float32),
+                np.zeros((2, 5), np.float32),
+            )
+
+
+class TestReluLrnBackward:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0], dtype=np.float32)
+        dy = np.array([5.0, 5.0, 5.0])
+        np.testing.assert_array_equal(relu_backward(x, dy), [0.0, 0.0, 5.0])
+
+    def test_lrn_matches_finite_differences(self):
+        spec = LRNSpec(depth=3, alpha=0.1, beta=0.75, k=2.0)
+        x = RNG.standard_normal((1, 5, 2, 2)).astype(np.float32)
+        dout = RNG.standard_normal((1, 5, 2, 2)).astype(np.float64)
+        dx = lrn_backward(x, dout, spec)
+        num = numeric_grad(lambda xx: lrn_forward(xx, spec), x, dout)
+        np.testing.assert_allclose(dx, num, rtol=3e-2, atol=3e-3)
+
+    def test_lrn_identity_when_alpha_zero(self):
+        spec = LRNSpec(alpha=0.0, beta=0.75, k=1.0)
+        x = RNG.standard_normal((1, 4, 2, 2)).astype(np.float32)
+        dy = RNG.standard_normal((1, 4, 2, 2)).astype(np.float32)
+        np.testing.assert_allclose(lrn_backward(x, dy, spec), dy, rtol=1e-5)

@@ -1,0 +1,161 @@
+"""Numeric convolution: direct == im2col == FFT, plus layout-aware wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import signal
+
+from repro.layers import (
+    ConvSpec,
+    conv_direct,
+    conv_fft,
+    conv_forward,
+    conv_im2col,
+    im2col,
+    make_filters,
+)
+from repro.tensors import CHWN, NCHW, Tensor4D
+
+
+def random_case(spec: ConvSpec, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((spec.n, spec.ci, spec.h, spec.w)).astype(np.float32)
+    w = make_filters(spec, seed=seed + 1)
+    return x, w
+
+
+class TestAgainstScipy:
+    def test_single_channel_matches_scipy_correlate(self):
+        spec = ConvSpec(n=1, ci=1, h=10, w=10, co=1, fh=3, fw=3)
+        x, w = random_case(spec)
+        ours = conv_direct(x, w, spec)[0, 0]
+        ref = signal.correlate2d(
+            x[0, 0].astype(np.float64), w[0, 0].astype(np.float64), mode="valid"
+        )
+        np.testing.assert_allclose(ours, ref, rtol=1e-4, atol=1e-5)
+
+    def test_multi_channel_sums_over_ci(self):
+        spec = ConvSpec(n=1, ci=3, h=8, w=8, co=1, fh=3, fw=3)
+        x, w = random_case(spec, seed=2)
+        ours = conv_direct(x, w, spec)[0, 0]
+        ref = sum(
+            signal.correlate2d(
+                x[0, c].astype(np.float64), w[0, c].astype(np.float64), mode="valid"
+            )
+            for c in range(3)
+        )
+        np.testing.assert_allclose(ours, ref, rtol=1e-4, atol=1e-4)
+
+
+conv_specs = st.builds(
+    ConvSpec,
+    n=st.integers(1, 4),
+    ci=st.integers(1, 5),
+    h=st.integers(6, 14),
+    w=st.integers(6, 14),
+    co=st.integers(1, 6),
+    fh=st.integers(1, 5),
+    fw=st.integers(1, 5),
+    stride=st.integers(1, 2),
+    pad=st.integers(0, 2),
+).filter(lambda s: s.fh <= s.h + 2 * s.pad and s.fw <= s.w + 2 * s.pad)
+
+
+class TestImplementationEquivalence:
+    @given(spec=conv_specs, seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_direct_equals_im2col(self, spec, seed):
+        x, w = random_case(spec, seed)
+        np.testing.assert_allclose(
+            conv_direct(x, w, spec), conv_im2col(x, w, spec), rtol=1e-3, atol=1e-4
+        )
+
+    @given(spec=conv_specs.filter(lambda s: s.stride == 1), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_direct_equals_fft(self, spec, seed):
+        x, w = random_case(spec, seed)
+        np.testing.assert_allclose(
+            conv_direct(x, w, spec), conv_fft(x, w, spec), rtol=1e-3, atol=1e-3
+        )
+
+    def test_fft_rejects_strided(self):
+        spec = ConvSpec(n=1, ci=1, h=8, w=8, co=1, fh=3, fw=3, stride=2)
+        x, w = random_case(spec)
+        with pytest.raises(ValueError, match="stride"):
+            conv_fft(x, w, spec)
+
+    def test_table1_cv1_shape(self):
+        spec = ConvSpec(n=2, ci=1, h=28, w=28, co=4, fh=5, fw=5)
+        x, w = random_case(spec, seed=5)
+        out = conv_direct(x, w, spec)
+        assert out.shape == (2, 4, 24, 24)
+        np.testing.assert_allclose(out, conv_im2col(x, w, spec), rtol=1e-3, atol=1e-4)
+
+
+class TestIm2col:
+    def test_unroll_shape(self):
+        spec = ConvSpec(n=2, ci=3, h=6, w=6, co=4, fh=3, fw=3)
+        x, _ = random_case(spec)
+        cols = im2col(x, spec)
+        assert cols.shape == (2, 27, 16)
+
+    def test_unroll_content(self):
+        spec = ConvSpec(n=1, ci=1, h=3, w=3, co=1, fh=2, fw=2)
+        x = np.arange(9, dtype=np.float32).reshape(1, 1, 3, 3)
+        cols = im2col(x, spec)
+        # First patch (top-left 2x2) flattened: 0,1,3,4
+        np.testing.assert_array_equal(cols[0, :, 0], [0, 1, 3, 4])
+
+
+class TestLayoutAwareForward:
+    def test_chwn_input_gives_same_logical_result(self):
+        spec = ConvSpec(n=3, ci=2, h=8, w=8, co=4, fh=3, fw=3, pad=1)
+        x, w = random_case(spec, seed=9)
+        out_nchw = conv_forward(Tensor4D.from_nchw(x, NCHW), w, spec, "direct")
+        out_chwn = conv_forward(Tensor4D.from_nchw(x, CHWN), w, spec, "direct")
+        assert out_chwn.layout == CHWN
+        np.testing.assert_allclose(
+            out_nchw.as_nchw(), out_chwn.as_nchw(), rtol=1e-5, atol=1e-6
+        )
+
+    def test_explicit_out_layout(self):
+        spec = ConvSpec(n=2, ci=2, h=6, w=6, co=3, fh=3, fw=3)
+        x, w = random_case(spec)
+        out = conv_forward(Tensor4D.from_nchw(x, NCHW), w, spec, "im2col", out_layout=CHWN)
+        assert out.layout == CHWN
+
+    def test_unknown_implementation(self):
+        spec = ConvSpec(n=1, ci=1, h=6, w=6, co=1, fh=3, fw=3)
+        x, w = random_case(spec)
+        with pytest.raises(ValueError, match="unknown convolution"):
+            conv_forward(Tensor4D.from_nchw(x), w, spec, "strassen")
+
+    def test_shape_validation(self):
+        spec = ConvSpec(n=1, ci=2, h=6, w=6, co=1, fh=3, fw=3)
+        x = np.zeros((1, 3, 6, 6), dtype=np.float32)  # wrong ci
+        w = make_filters(spec)
+        with pytest.raises(ValueError):
+            conv_direct(x, w, spec)
+
+
+class TestSpecProperties:
+    def test_flops_formula(self):
+        spec = ConvSpec(n=2, ci=3, h=8, w=8, co=4, fh=3, fw=3)
+        assert spec.flops == 2 * 2 * 4 * 6 * 6 * 3 * 9
+        assert spec.taps == 27
+
+    def test_output_extents(self):
+        spec = ConvSpec(n=1, ci=1, h=13, w=13, co=1, fh=3, fw=3, stride=1, pad=1)
+        assert (spec.out_h, spec.out_w) == (13, 13)
+        spec2 = ConvSpec(n=1, ci=1, h=224, w=224, co=1, fh=5, fw=5, stride=2)
+        assert spec2.out_h == 110
+
+    def test_window_must_fit(self):
+        with pytest.raises(ValueError):
+            ConvSpec(n=1, ci=1, h=4, w=4, co=1, fh=6, fw=6)
+
+    def test_with_batch_and_channels(self):
+        spec = ConvSpec(n=2, ci=3, h=8, w=8, co=4, fh=3, fw=3)
+        assert spec.with_batch(16).n == 16
+        assert spec.with_channels(7).ci == 7

@@ -1,0 +1,144 @@
+"""Numeric pooling: ceil-mode windows, coarsened equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layers import PoolSpec, pool_coarsened, pool_forward, pool_plain, tile_footprint
+from repro.layers.base import pool_out_extent
+from repro.tensors import CHWN, NCHW, Tensor4D
+
+
+def random_input(spec, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((spec.n, spec.c, spec.h, spec.w)).astype(np.float32)
+
+
+class TestOutExtent:
+    @pytest.mark.parametrize(
+        "h,window,stride,expected",
+        [
+            (28, 2, 2, 14),
+            (24, 3, 2, 12),  # ceil mode: (24-3)/2 -> 11.5 -> 12
+            (55, 3, 2, 27),
+            (110, 3, 2, 55),
+            (26, 3, 2, 13),
+            (13, 3, 2, 6),
+        ],
+    )
+    def test_paper_shape_chain(self, h, window, stride, expected):
+        assert pool_out_extent(h, window, stride) == expected
+
+    def test_window_too_large(self):
+        with pytest.raises(ValueError):
+            pool_out_extent(4, 6, 2)
+
+
+class TestMaxPooling:
+    def test_known_values(self):
+        spec = PoolSpec(n=1, c=1, h=4, w=4, window=2, stride=2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool_plain(x, spec)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_overlapped_windows(self):
+        spec = PoolSpec(n=1, c=1, h=5, w=5, window=3, stride=2)
+        x = np.arange(25, dtype=np.float32).reshape(1, 1, 5, 5)
+        out = pool_plain(x, spec)
+        np.testing.assert_array_equal(out[0, 0], [[12, 14], [22, 24]])
+
+    def test_ceil_mode_clips_overhanging_window(self):
+        # H=4, window 3, stride 2 -> ceil((4-3)/2)+1 = 2 outputs; the second
+        # window covers rows 2..3 only.
+        spec = PoolSpec(n=1, c=1, h=4, w=4, window=3, stride=2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool_plain(x, spec)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 1, 1] == 15.0  # max of clipped bottom-right window
+
+
+class TestAvgPooling:
+    def test_known_values(self):
+        spec = PoolSpec(n=1, c=1, h=4, w=4, window=2, stride=2, op="avg")
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        np.testing.assert_allclose(
+            pool_plain(x, spec)[0, 0], [[2.5, 4.5], [10.5, 12.5]]
+        )
+
+    def test_clipped_window_divides_by_valid_count(self):
+        spec = PoolSpec(n=1, c=1, h=3, w=3, window=2, stride=2, op="avg")
+        x = np.arange(9, dtype=np.float32).reshape(1, 1, 3, 3)
+        out = pool_plain(x, spec)
+        # Bottom-right window covers only element 8.
+        assert out[0, 0, 1, 1] == 8.0
+        # Bottom-left window covers elements 6, 7.
+        assert out[0, 0, 1, 0] == pytest.approx(6.5)
+
+
+pool_specs = st.builds(
+    PoolSpec,
+    n=st.integers(1, 3),
+    c=st.integers(1, 4),
+    h=st.integers(4, 16),
+    w=st.integers(4, 16),
+    window=st.integers(2, 4),
+    stride=st.integers(1, 3),
+    op=st.sampled_from(["max", "avg"]),
+).filter(lambda s: s.window <= min(s.h, s.w))
+
+
+class TestCoarsenedEquivalence:
+    @given(
+        spec=pool_specs,
+        ux=st.integers(1, 4),
+        uy=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_expansion_factor_is_value_preserving(self, spec, ux, uy, seed):
+        """Section V.A's working-set expansion must never change results."""
+        x = random_input(spec, seed)
+        np.testing.assert_allclose(
+            pool_plain(x, spec), pool_coarsened(x, spec, ux, uy), rtol=1e-5, atol=1e-5
+        )
+
+    def test_invalid_factors(self, small_pool):
+        with pytest.raises(ValueError):
+            pool_coarsened(random_input(small_pool), small_pool, 0, 1)
+
+
+class TestTileFootprint:
+    def test_overlap_saves_loads(self):
+        spec = PoolSpec(n=1, c=1, h=12, w=12, window=4, stride=2)
+        assert tile_footprint(spec, 1, 1) == 16
+        # 2x2 tile: (2-1)*2+4 = 6 per side -> 36 < 4*16.
+        assert tile_footprint(spec, 2, 2) == 36
+
+    def test_non_overlapped_has_no_savings(self):
+        spec = PoolSpec(n=1, c=1, h=8, w=8, window=2, stride=2)
+        assert tile_footprint(spec, 2, 2) == 4 * tile_footprint(spec, 1, 1)
+
+
+class TestLayoutAwareForward:
+    def test_layout_invariance(self, small_pool):
+        x = random_input(small_pool, seed=4)
+        out_nchw = pool_forward(Tensor4D.from_nchw(x, NCHW), small_pool)
+        out_chwn = pool_forward(Tensor4D.from_nchw(x, CHWN), small_pool, coarsen=(2, 2))
+        np.testing.assert_allclose(
+            out_nchw.as_nchw(), out_chwn.as_nchw(), rtol=1e-5, atol=1e-5
+        )
+        assert out_chwn.layout == CHWN
+
+    def test_spec_validation(self):
+        spec = PoolSpec(n=1, c=1, h=4, w=4, window=2, stride=2)
+        with pytest.raises(ValueError):
+            pool_plain(np.zeros((1, 2, 4, 4), dtype=np.float32), spec)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            PoolSpec(n=1, c=1, h=4, w=4, window=2, stride=2, op="median")
+
+    def test_overlapped_flag(self):
+        assert PoolSpec(n=1, c=1, h=8, w=8, window=3, stride=2).overlapped
+        assert not PoolSpec(n=1, c=1, h=8, w=8, window=2, stride=2).overlapped

@@ -1,0 +1,92 @@
+"""Numeric softmax: five-step == fused == scipy, step-level checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import softmax as scipy_softmax
+
+from repro.layers import SoftmaxSpec, softmax_five_step, softmax_forward, softmax_fused
+
+
+def logits(spec, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((spec.n, spec.categories)) * scale).astype(np.float32)
+
+
+class TestSteps:
+    def test_all_five_intermediates(self, small_softmax):
+        x = logits(small_softmax, seed=1)
+        steps = softmax_five_step(x, small_softmax)
+        np.testing.assert_array_equal(steps.maxv, x.max(axis=1))
+        np.testing.assert_allclose(steps.midv1, x - steps.maxv[:, None], atol=1e-6)
+        np.testing.assert_allclose(steps.midv2, np.exp(steps.midv1), rtol=1e-5)
+        np.testing.assert_allclose(steps.sumv, steps.midv2.sum(1), rtol=1e-5)
+        np.testing.assert_allclose(steps.out.sum(1), 1.0, atol=1e-5)
+
+    def test_shift_makes_exp_safe(self):
+        spec = SoftmaxSpec(n=2, categories=4)
+        x = np.full((2, 4), 300.0, dtype=np.float32)  # exp(300) overflows
+        out = softmax_five_step(x, spec).out
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, 0.25, atol=1e-6)
+
+
+class TestEquivalence:
+    @given(
+        n=st.integers(1, 16),
+        c=st.integers(1, 200),
+        seed=st.integers(0, 500),
+        scale=st.floats(0.1, 50.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fused_equals_five_step(self, n, c, seed, scale):
+        spec = SoftmaxSpec(n=n, categories=c)
+        x = logits(spec, seed, scale)
+        np.testing.assert_allclose(
+            softmax_fused(x, spec),
+            softmax_five_step(x, spec).out,
+            rtol=1e-5,
+            atol=1e-6,
+        )
+
+    @given(n=st.integers(1, 8), c=st.integers(2, 64), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_scipy(self, n, c, seed):
+        spec = SoftmaxSpec(n=n, categories=c)
+        x = logits(spec, seed)
+        np.testing.assert_allclose(
+            softmax_fused(x, spec),
+            scipy_softmax(x.astype(np.float64), axis=1),
+            rtol=1e-4,
+            atol=1e-6,
+        )
+
+    @given(n=st.integers(1, 8), c=st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_rows_are_distributions(self, n, c):
+        spec = SoftmaxSpec(n=n, categories=c)
+        out = softmax_forward(logits(spec, 9), spec)
+        assert (out >= 0).all()
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-5)
+
+
+class TestValidation:
+    def test_shape_mismatch(self, small_softmax):
+        with pytest.raises(ValueError):
+            softmax_fused(np.zeros((3, 3), dtype=np.float32), small_softmax)
+
+    def test_forward_dispatch(self, small_softmax):
+        x = logits(small_softmax)
+        np.testing.assert_allclose(
+            softmax_forward(x, small_softmax, fused=True),
+            softmax_forward(x, small_softmax, fused=False),
+            rtol=1e-6,
+        )
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SoftmaxSpec(n=0, categories=10)
+        spec = SoftmaxSpec(n=4, categories=8)
+        assert spec.elements == 32
+        assert spec.nbytes == 128

@@ -1,0 +1,72 @@
+"""The example CNN of the paper's Fig. 2, built and executed.
+
+Fig. 2: a 32x32 input image, C1 = 8 feature maps of 28x28 (5x5
+convolution), P1 = 8 maps of 14x14 (2x2 pooling), a fully-connected stage,
+and a softmax producing a letter distribution ("Z: 0.9, L: 0.05, ...").
+"""
+
+import numpy as np
+import pytest
+
+from repro.framework import (
+    ConvDef,
+    FCDef,
+    Net,
+    NetworkDef,
+    PoolDef,
+    SoftmaxDef,
+    Trainer,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2_net():
+    return Net(
+        NetworkDef(
+            "fig2",
+            batch=8,
+            in_channels=1,
+            in_h=32,
+            in_w=32,
+            layers=(
+                ConvDef("C1", co=8, f=5),
+                PoolDef("P1", window=2, stride=2),
+                FCDef("FC", out_features=64),
+                FCDef("out", out_features=26, relu=False),  # letter labels
+                SoftmaxDef("prob"),
+            ),
+        )
+    )
+
+
+class TestFig2Structure:
+    def test_c1_is_8_maps_of_28x28(self, fig2_net):
+        c1 = fig2_net.layers[0]
+        assert c1.out_dims == (8, 8, 28, 28)
+
+    def test_p1_is_8_maps_of_14x14(self, fig2_net):
+        p1 = fig2_net.layers[1]
+        assert p1.out_dims == (8, 8, 14, 14)
+
+    def test_softmax_emits_a_label_distribution(self, fig2_net):
+        out = fig2_net.forward(fig2_net.make_input(seed=0))
+        assert out.shape == (8, 26)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-5)
+        assert (out >= 0).all()
+
+    def test_a_confident_network_looks_like_the_figure(self, fig2_net):
+        """After a few steps of training toward label 'Z' on a fixed input,
+        the Z probability dominates — the '0.9 / 0.05 / ...' picture."""
+        z = 25
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((8, 1, 32, 32)).astype(np.float32)
+        labels = np.full(8, z)
+        trainer = Trainer(fig2_net, lr=0.1)
+        for _ in range(12):
+            trainer.step(x, labels)
+        _, _, grads = trainer.loss_and_grads(x, labels)
+        del grads
+        logits, _ = trainer._forward(x)
+        probs = np.exp(logits - logits.max(1, keepdims=True))
+        probs /= probs.sum(1, keepdims=True)
+        assert (probs[:, z] > 0.5).all()

@@ -1,0 +1,91 @@
+"""Table 1 layer configurations."""
+
+import pytest
+
+from repro.networks import (
+    CLASS_LAYERS,
+    CONV_LAYERS,
+    FIG13_SOFTMAX,
+    POOL_LAYERS,
+    conv_layer,
+    pool_layer,
+)
+
+
+class TestConvLayers:
+    def test_all_twelve_present(self):
+        assert set(CONV_LAYERS) == {f"CV{i}" for i in range(1, 13)}
+
+    @pytest.mark.parametrize(
+        "name,n,co,h,f,ci,s",
+        [
+            ("CV1", 128, 16, 28, 5, 1, 1),
+            ("CV2", 128, 16, 14, 5, 16, 1),
+            ("CV3", 128, 64, 24, 5, 3, 1),
+            ("CV4", 128, 64, 12, 5, 64, 1),
+            ("CV5", 64, 96, 224, 3, 3, 2),
+            ("CV6", 64, 256, 55, 5, 96, 2),
+            ("CV7", 64, 384, 13, 3, 256, 1),
+            ("CV8", 64, 384, 13, 3, 384, 1),
+            ("CV9", 32, 64, 224, 3, 3, 1),
+            ("CV10", 32, 256, 56, 3, 128, 1),
+            ("CV11", 32, 512, 28, 3, 256, 1),
+            ("CV12", 32, 512, 14, 3, 512, 1),
+        ],
+    )
+    def test_rows_match_paper(self, name, n, co, h, f, ci, s):
+        spec = CONV_LAYERS[name]
+        assert (spec.n, spec.co, spec.h, spec.fh, spec.ci, spec.stride) == (
+            n, co, h, f, ci, s,
+        )
+
+    def test_lookup_helpers(self):
+        assert conv_layer("cv3") is CONV_LAYERS["CV3"]
+        with pytest.raises(KeyError, match="CV1"):
+            conv_layer("CV99")
+
+
+class TestPoolLayers:
+    def test_all_ten_present(self):
+        assert set(POOL_LAYERS) == {f"PL{i}" for i in range(1, 11)}
+
+    def test_overlap_classification(self):
+        """PL1/PL2 are LeNet's non-overlapped 2x2/s2; the rest overlap."""
+        assert not POOL_LAYERS["PL1"].overlapped
+        assert not POOL_LAYERS["PL2"].overlapped
+        for i in range(3, 11):
+            assert POOL_LAYERS[f"PL{i}"].overlapped, f"PL{i}"
+
+    @pytest.mark.parametrize(
+        "name,n,c,h",
+        [
+            ("PL5", 128, 96, 55),
+            ("PL6", 128, 192, 27),
+            ("PL7", 128, 256, 13),
+            ("PL8", 64, 96, 110),
+        ],
+    )
+    def test_rows_match_paper(self, name, n, c, h):
+        spec = POOL_LAYERS[name]
+        assert (spec.n, spec.c, spec.h) == (n, c, h)
+
+    def test_lookup_helpers(self):
+        assert pool_layer("pl8") is POOL_LAYERS["PL8"]
+        with pytest.raises(KeyError):
+            pool_layer("PL0")
+
+
+class TestClassifiers:
+    def test_class_configs(self):
+        assert CLASS_LAYERS["CLASS1"].categories == 10
+        assert CLASS_LAYERS["CLASS3"].n == 128
+        assert CLASS_LAYERS["CLASS3"].categories == 1000
+        assert CLASS_LAYERS["CLASS4"].n == 64
+        assert CLASS_LAYERS["CLASS5"].n == 32
+
+    def test_fig13_grid(self):
+        """Twelve configurations: batch {32,64,128} x categories
+        {10,100,1000,10000}."""
+        assert len(FIG13_SOFTMAX) == 12
+        assert FIG13_SOFTMAX["128/10000"].categories == 10000
+        assert FIG13_SOFTMAX["32/10"].n == 32

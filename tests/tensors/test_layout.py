@@ -1,0 +1,100 @@
+"""DataLayout permutations, strides, and index arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensors import ALL_LAYOUTS, CHWN, NCHW, NHWC, DataLayout, parse_layout
+
+layouts = st.sampled_from(ALL_LAYOUTS)
+dims = st.tuples(
+    st.integers(1, 6), st.integers(1, 6), st.integers(1, 6), st.integers(1, 6)
+)
+
+
+class TestBasics:
+    def test_there_are_24_layouts(self):
+        assert len(ALL_LAYOUTS) == 24
+        assert len(set(ALL_LAYOUTS)) == 24
+
+    def test_invalid_orders_rejected(self):
+        for bad in ("NCH", "NCHWW", "NCXW", "nchw "):
+            with pytest.raises(ValueError):
+                DataLayout(bad)
+
+    def test_parse(self):
+        assert parse_layout("nchw") == NCHW
+        assert parse_layout(" chwn ") == CHWN
+
+    def test_lowest_dimension(self):
+        assert NCHW.lowest == "W"
+        assert CHWN.lowest == "N"
+
+    def test_axis_position(self):
+        assert NCHW.axis_position("N") == 0
+        assert CHWN.axis_position("N") == 3
+        with pytest.raises(ValueError):
+            NCHW.axis_position("Z")
+
+
+class TestStrides:
+    def test_nchw_strides_match_paper_description(self):
+        """'the consecutive elements along the C dimension have a stride of
+        H*W' — Section II.A."""
+        s = NCHW.strides_of(2, 3, 5, 7, itemsize=4)
+        assert s["W"] == 4
+        assert s["H"] == 7 * 4
+        assert s["C"] == 5 * 7 * 4
+        assert s["N"] == 3 * 5 * 7 * 4
+
+    def test_chwn_strides(self):
+        s = CHWN.strides_of(2, 3, 5, 7, itemsize=4)
+        assert s["N"] == 4
+        assert s["W"] == 2 * 4
+        assert s["H"] == 7 * 2 * 4
+        assert s["C"] == 5 * 7 * 2 * 4
+
+    @given(layout=layouts, d=dims)
+    @settings(max_examples=50, deadline=None)
+    def test_lowest_axis_has_unit_stride(self, layout, d):
+        strides = layout.strides_of(*d, itemsize=4)
+        assert strides[layout.lowest] == 4
+
+
+class TestPermutations:
+    def test_permutation_roundtrip_numpy(self):
+        rng = np.random.default_rng(0)
+        logical = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        physical = logical.transpose(CHWN.permutation_from(NCHW))
+        assert physical.shape == (3, 4, 5, 2)
+        back = physical.transpose(NCHW.permutation_from(CHWN))
+        assert (back == logical).all()
+
+    @given(src=layouts, dst=layouts, d=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_composes(self, src, dst, d):
+        shape_src = src.shape_of(*d)
+        arr = np.arange(np.prod(shape_src)).reshape(shape_src)
+        via_dst = arr.transpose(dst.permutation_from(src))
+        assert via_dst.shape == dst.shape_of(*d)
+
+
+class TestLinearIndex:
+    @given(layout=layouts, d=dims)
+    @settings(max_examples=40, deadline=None)
+    def test_linear_index_matches_numpy_ravel(self, layout, d):
+        n, c, h, w = (max(1, x - 1) for x in d)
+        idx = layout.linear_index(n - 1, c - 1, h - 1, w - 1, d)
+        shape = layout.shape_of(*d)
+        coord = {"N": n - 1, "C": c - 1, "H": h - 1, "W": w - 1}
+        multi = tuple(coord[a] for a in layout.order)
+        assert idx == np.ravel_multi_index(multi, shape)
+
+    def test_corner_cases(self):
+        dims4 = (2, 3, 4, 5)
+        assert NCHW.linear_index(0, 0, 0, 0, dims4) == 0
+        assert NCHW.linear_index(1, 2, 3, 4, dims4) == 2 * 3 * 4 * 5 - 1
+
+    def test_nhwc_is_channel_minor(self):
+        assert NHWC.linear_index(0, 1, 0, 0, (1, 4, 2, 2)) == 1

@@ -1,0 +1,95 @@
+"""Tensor4D storage, conversion, and address computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensors import ALL_LAYOUTS, CHWN, NCHW, Tensor4D, TensorDesc, make_input
+
+layouts = st.sampled_from(ALL_LAYOUTS)
+
+
+class TestTensorDesc:
+    def test_properties(self):
+        d = TensorDesc(2, 3, 4, 5, NCHW)
+        assert d.dims == (2, 3, 4, 5)
+        assert d.size == 120
+        assert d.nbytes == 480
+        assert d.physical_shape == (2, 3, 4, 5)
+
+    def test_chwn_physical_shape(self):
+        d = TensorDesc(2, 3, 4, 5, CHWN)
+        assert d.physical_shape == (3, 4, 5, 2)
+
+    def test_positive_dims_required(self):
+        with pytest.raises(ValueError):
+            TensorDesc(0, 3, 4, 5)
+
+    def test_stride_bytes(self):
+        d = TensorDesc(2, 3, 4, 5, NCHW)
+        assert d.stride_bytes("W") == 4
+        assert d.stride_bytes("C") == 80
+
+    def test_address_of(self):
+        d = TensorDesc(2, 3, 4, 5, NCHW)
+        assert d.address_of(0, 0, 0, 1) == 4
+        assert d.address_of(1, 0, 0, 0, base=100) == 100 + 60 * 4
+
+    def test_with_layout(self):
+        d = TensorDesc(2, 3, 4, 5, NCHW).with_layout(CHWN)
+        assert d.layout == CHWN
+        assert d.dims == (2, 3, 4, 5)
+
+
+class TestTensor4D:
+    def test_from_nchw_roundtrip(self):
+        rng = np.random.default_rng(1)
+        logical = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        t = Tensor4D.from_nchw(logical, CHWN)
+        assert t.data.shape == (3, 4, 5, 2)
+        assert (t.as_nchw() == logical).all()
+
+    def test_to_layout_is_identity_for_same(self):
+        t = make_input(2, 3, 4, 5, layout=NCHW)
+        assert t.to_layout(NCHW) is t
+
+    @given(src=layouts, dst=layouts)
+    @settings(max_examples=60, deadline=None)
+    def test_relayout_preserves_logical_values(self, src, dst):
+        t = make_input(2, 3, 4, 5, layout=src, seed=7)
+        moved = t.to_layout(dst)
+        assert moved.layout == dst
+        assert np.array_equal(moved.as_nchw(), t.as_nchw())
+        # Physically contiguous in the new layout
+        assert moved.data.flags["C_CONTIGUOUS"]
+
+    def test_allclose_across_layouts(self):
+        a = make_input(2, 3, 4, 5, layout=NCHW, seed=3)
+        b = a.to_layout(CHWN)
+        assert a.allclose(b)
+
+    def test_allclose_detects_difference(self):
+        a = make_input(2, 3, 4, 5, seed=3)
+        b = make_input(2, 3, 4, 5, seed=4)
+        assert not a.allclose(b)
+
+    def test_shape_mismatch_rejected(self):
+        desc = TensorDesc(2, 3, 4, 5, NCHW)
+        with pytest.raises(ValueError):
+            Tensor4D(np.zeros((3, 4, 5, 2), dtype=np.float32), desc)
+
+    def test_from_nchw_requires_4d(self):
+        with pytest.raises(ValueError):
+            Tensor4D.from_nchw(np.zeros((2, 3, 4), dtype=np.float32))
+
+    def test_zeros_and_random(self):
+        desc = TensorDesc(2, 3, 4, 5, CHWN)
+        z = Tensor4D.zeros(desc)
+        assert not z.data.any()
+        r1 = Tensor4D.random(desc, seed=9)
+        r2 = Tensor4D.random(desc, seed=9)
+        assert np.array_equal(r1.data, r2.data)
+
+    def test_data_is_float32(self):
+        assert make_input(1, 1, 2, 2).data.dtype == np.float32

@@ -1,0 +1,135 @@
+"""The benchmark harness's own infrastructure (figutil) and determinism."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from figutil import FigureTable, geomean  # noqa: E402
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(values=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) <= g * 1.0001
+        assert g <= max(values) * 1.0001
+
+    @given(
+        values=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=10),
+        scale=st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scales_linearly(self, values, scale):
+        assert geomean([v * scale for v in values]) == pytest.approx(
+            geomean(values) * scale, rel=1e-6
+        )
+
+
+class TestFigureTable:
+    def make(self):
+        t = FigureTable("demo", ["name", "value"])
+        t.add("a", 1.0)
+        t.add("b", 2.0)
+        return t
+
+    def test_row_and_column_access(self):
+        t = self.make()
+        assert t.row("a") == ("a", 1.0)
+        assert t.column("value") == [1.0, 2.0]
+
+    def test_missing_row(self):
+        with pytest.raises(KeyError):
+            self.make().row("zzz")
+
+    def test_width_mismatch_rejected(self):
+        t = self.make()
+        with pytest.raises(ValueError):
+            t.add("c", 1.0, 2.0)
+
+    def test_render_contains_everything(self):
+        t = self.make()
+        t.note("a note")
+        text = t.render()
+        assert "demo" in text and "a note" in text
+        assert "1.000" in text and "b" in text
+
+
+class TestDeterminism:
+    def test_traced_kernels_are_deterministic(self, device):
+        """Two independent engines must produce identical traced profiles
+        (sampling is strided, never random)."""
+        from repro.gpusim import SimulationEngine
+        from repro.layers import make_pool_kernel
+        from repro.networks import POOL_LAYERS
+
+        spec = POOL_LAYERS["PL5"]
+        a = SimulationEngine(device).run(make_pool_kernel(spec, "nchw-linear"))
+        b = SimulationEngine(device).run(make_pool_kernel(spec, "nchw-linear"))
+        assert a.time_ms == b.time_ms
+        assert a.transactions == b.transactions
+
+    def test_whole_network_timing_is_deterministic(self, device):
+        from repro.baselines import time_network
+        from repro.framework import Net
+        from repro.networks import build_network
+
+        net1 = Net(build_network("cifar"))
+        net2 = Net(build_network("cifar"))
+        t1 = time_network(net1, device, "opt").total_ms
+        t2 = time_network(net2, device, "opt").total_ms
+        assert t1 == t2
+
+    def test_numeric_forward_is_seeded(self):
+        from repro.framework import Net
+        from repro.networks import build_network
+
+        net = Net(build_network("lenet", batch=4))
+        a = net.forward(net.make_input(seed=3), net.init_weights(seed=1))
+        b = net.forward(net.make_input(seed=3), net.init_weights(seed=1))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAnnotationFuzz:
+    @given(
+        layout=st.sampled_from(["CHWN", "NCHW"]),
+        impl=st.sampled_from(["direct", "im2col", "fft", "chwn-coarsened"]),
+        coarsen=st.one_of(
+            st.none(), st.tuples(st.integers(1, 8), st.integers(1, 8))
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_annotation_encode_parse_roundtrip(self, layout, impl, coarsen):
+        from repro.framework import (
+            LayerAnnotation,
+            parse_annotated_netdef,
+        )
+        from repro.tensors import parse_layout
+
+        ann = LayerAnnotation(
+            layout=parse_layout(layout), implementation=impl, coarsening=coarsen
+        )
+        text = (
+            "network f batch=2 input=1x8x8\n"
+            "conv c1 co=2 f=3\n"
+            f"#@ c1 {ann.encode()}\n"
+        )
+        _, parsed = parse_annotated_netdef(text)
+        assert parsed["c1"] == ann
