@@ -54,8 +54,12 @@ from .gpusim import (
     TITAN_BLACK,
     TITAN_X,
     DeviceSpec,
+    SimStats,
+    SimulationContext,
     SimulationEngine,
+    default_context,
     get_device,
+    global_sim_stats,
     simulate,
 )
 from .layers import ConvSpec, FCSpec, PoolSpec, SoftmaxSpec
@@ -79,6 +83,8 @@ __all__ = [
     "POOL_LAYERS",
     "PoolSpec",
     "SCHEMES",
+    "SimStats",
+    "SimulationContext",
     "SimulationEngine",
     "SoftmaxSpec",
     "TITAN_BLACK",
@@ -91,9 +97,11 @@ __all__ = [
     "build_network",
     "calibrate",
     "compare_schemes",
+    "default_context",
     "format_netdef",
     "fuse_softmax",
     "get_device",
+    "global_sim_stats",
     "parse_netdef",
     "plan_optimal",
     "plan_single_layout",

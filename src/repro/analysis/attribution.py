@@ -27,7 +27,7 @@ from ..baselines.schemes import NetworkTiming, time_network
 from ..core.planner import NodeKind, plan_optimal
 from ..framework.net import Net
 from ..gpusim.device import DeviceSpec
-from ..gpusim.engine import SimulationEngine
+from ..gpusim.session import SimulationContext, default_context
 from ..layers.base import SoftmaxSpec
 from ..layers.pooling_kernels import make_pool_kernel
 from ..layers.softmax_kernels import make_softmax_kernel
@@ -61,15 +61,19 @@ class GainAttribution:
         return (self.layout_only_ms - self.full_opt_ms) / self.total_saved_ms
 
 
-def _layout_only_ms(net: Net, device: DeviceSpec) -> float:
+def _layout_only_ms(
+    net: Net, device: DeviceSpec, context: SimulationContext
+) -> float:
     """Total time with planned layouts but *unoptimized* memory kernels.
 
     The plan (and its transforms) is kept; pooling reverts from the
     coarsened kernel to the plain kernel of the planned layout, and the
     softmax reverts to the best library baseline.
     """
-    engine = SimulationEngine(device, check_memory=False)
-    plan = plan_optimal(device, net.planner_nodes(device))
+    engine = context.engine(check_memory=False)
+    plan = plan_optimal(
+        device, net.planner_nodes(device, context=context), context=context
+    )
     total = 0.0
     by_name = {layer.name: layer for layer in net.layers}
     for step in plan.steps:
@@ -89,12 +93,16 @@ def _layout_only_ms(net: Net, device: DeviceSpec) -> float:
 
 
 def attribute_gains(
-    net: Net, device: DeviceSpec, baseline: str = "cudnn-best"
+    net: Net,
+    device: DeviceSpec,
+    baseline: str = "cudnn-best",
+    context: SimulationContext | None = None,
 ) -> GainAttribution:
     """Decompose Opt's gain over ``baseline`` into the two families."""
-    base: NetworkTiming = time_network(net, device, baseline)
-    full: NetworkTiming = time_network(net, device, "opt")
-    layout_only = _layout_only_ms(net, device)
+    ctx = context or default_context(device)
+    base: NetworkTiming = time_network(net, device, baseline, context=ctx)
+    full: NetworkTiming = time_network(net, device, "opt", context=ctx)
+    layout_only = _layout_only_ms(net, device, ctx)
     return GainAttribution(
         network=net.name,
         baseline_ms=base.total_ms,

@@ -15,6 +15,7 @@ from typing import Callable
 
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import GpuOutOfMemoryError, SimulationEngine
+from ..gpusim.session import SimulationContext, default_context
 from ..layers.base import ConvSpec, PoolSpec, SoftmaxSpec
 from ..layers.conv_kernels import ConvUnsupportedError, make_conv_kernel
 from ..layers.pooling_kernels import make_pool_kernel
@@ -101,11 +102,12 @@ def sweep_conv(
     dimension: str,
     values: tuple[int, ...],
     implementations: tuple[str, ...] = ("direct", "im2col"),
+    context: SimulationContext | None = None,
 ) -> SweepResult:
     """Vary one :class:`ConvSpec` field (``n``, ``ci``, ``co``, ``h``...)."""
     if not hasattr(base, dimension):
         raise ValueError(f"ConvSpec has no dimension {dimension!r}")
-    engine = SimulationEngine(device, check_memory=True)
+    engine = (context or default_context(device)).engine(check_memory=True)
 
     def kernel_of(value: int, impl: str):
         spec = replace(base, **{dimension: value})
@@ -122,11 +124,12 @@ def sweep_pool(
     dimension: str,
     values: tuple[int, ...],
     implementations: tuple[str, ...] = ("chwn", "nchw-linear"),
+    context: SimulationContext | None = None,
 ) -> SweepResult:
     """Vary one :class:`PoolSpec` field."""
     if not hasattr(base, dimension):
         raise ValueError(f"PoolSpec has no dimension {dimension!r}")
-    engine = SimulationEngine(device, check_memory=False)
+    engine = (context or default_context(device)).engine(check_memory=False)
 
     def kernel_of(value: int, impl: str):
         spec = replace(base, **{dimension: value})
@@ -143,11 +146,12 @@ def sweep_softmax(
     dimension: str,
     values: tuple[int, ...],
     implementations: tuple[str, ...] = ("cudnn", "opt"),
+    context: SimulationContext | None = None,
 ) -> SweepResult:
     """Vary ``n`` or ``categories`` of a softmax layer."""
     if not hasattr(base, dimension):
         raise ValueError(f"SoftmaxSpec has no dimension {dimension!r}")
-    engine = SimulationEngine(device, check_memory=False)
+    engine = (context or default_context(device)).engine(check_memory=False)
 
     def kernel_of(value: int, impl: str):
         return make_softmax_kernel(replace(base, **{dimension: value}), impl)

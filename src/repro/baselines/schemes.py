@@ -25,6 +25,7 @@ from ..core.selector import best_conv_for_layout, cudnn_mode_conv
 from ..framework.net import Net
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import SimulationEngine
+from ..gpusim.session import SimulationContext, default_context
 from ..layers.backward_kernels import (
     TRAINING_TRANSFORM_FACTOR,
     conv_backward_kernels,
@@ -144,9 +145,13 @@ def _backward_ms(
 
 
 def _library_scheme(
-    net: Net, device: DeviceSpec, scheme: str, training: bool = False
+    net: Net,
+    device: DeviceSpec,
+    scheme: str,
+    training: bool = False,
+    context: SimulationContext | None = None,
 ) -> NetworkTiming:
-    engine = SimulationEngine(device, check_memory=False)
+    engine = (context or default_context(device)).engine(check_memory=False)
     if scheme == "cuda-convnet":
         layout, pool_impl, softmax_impl = CHWN, "chwn", "5kernel"
     elif scheme == "caffe":
@@ -214,14 +219,20 @@ def _library_scheme(
     )
 
 
-def _opt_scheme(net: Net, device: DeviceSpec, training: bool = False) -> NetworkTiming:
+def _opt_scheme(
+    net: Net,
+    device: DeviceSpec,
+    training: bool = False,
+    context: SimulationContext | None = None,
+) -> NetworkTiming:
     # The heuristic sets per-layer preferences; the paper then applies
     # "one-time profiling ... to fine tune the data layout settings
     # automatically" (Section IV.D).  The DP planner is that fine-tuning
     # step taken to its conclusion: it weighs every layout choice against
     # transform costs using the profiled (simulated) layer times.
-    plan = plan_optimal(device, net.planner_nodes(device))
-    engine = SimulationEngine(device, check_memory=False)
+    ctx = context or default_context(device)
+    plan = plan_optimal(device, net.planner_nodes(device, context=ctx), context=ctx)
+    engine = ctx.engine(check_memory=False)
     by_name = {layer.name: layer for layer in net.layers}
     rows = []
     for step in plan.steps:
@@ -254,7 +265,11 @@ def _opt_scheme(net: Net, device: DeviceSpec, training: bool = False) -> Network
 
 
 def time_network(
-    net: Net, device: DeviceSpec, scheme: str, training: bool = False
+    net: Net,
+    device: DeviceSpec,
+    scheme: str,
+    training: bool = False,
+    context: SimulationContext | None = None,
 ) -> NetworkTiming:
     """Simulate one network under one scheme.
 
@@ -264,8 +279,8 @@ def time_network(
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
     if scheme == "opt":
-        return _opt_scheme(net, device, training)
-    return _library_scheme(net, device, scheme, training)
+        return _opt_scheme(net, device, training, context)
+    return _library_scheme(net, device, scheme, training, context)
 
 
 def compare_schemes(
@@ -273,8 +288,16 @@ def compare_schemes(
     device: DeviceSpec,
     schemes: tuple[str, ...] = SCHEMES,
     training: bool = False,
+    context: SimulationContext | None = None,
 ) -> dict[str, NetworkTiming]:
-    """Run several schemes on one network (the Fig. 14 harness)."""
+    """Run several schemes on one network (the Fig. 14 harness).
+
+    Schemes share many layer kernels (every cuDNN mode runs the same
+    pooling, all NCHW convs appear in several schemes), so one shared
+    ``context`` makes the whole comparison dramatically cheaper.
+    """
+    ctx = context or default_context(device)
     return {
-        scheme: time_network(net, device, scheme, training) for scheme in schemes
+        scheme: time_network(net, device, scheme, training, context=ctx)
+        for scheme in schemes
     }

@@ -26,6 +26,7 @@ from .gpusim import (
     SimulationEngine,
     comparison_table,
     get_device,
+    global_sim_stats,
     kernel_report,
     list_devices,
 )
@@ -42,7 +43,17 @@ from .networks import (
 from .tensors import CHWN, NCHW, TensorDesc, transform_stats
 
 
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sim-stats",
+        action="store_true",
+        help="print simulation-session counters (cache hits, kernels timed) "
+        "after the command",
+    )
+
+
 def _add_device(parser: argparse.ArgumentParser) -> None:
+    _add_common(parser)
     parser.add_argument(
         "--device",
         default="titan-black",
@@ -271,7 +282,8 @@ def make_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="list devices, networks and schemes")
+    p = sub.add_parser("info", help="list devices, networks and schemes")
+    _add_common(p)
 
     p = sub.add_parser("calibrate", help="derive the (Ct, Nt) layout thresholds")
     _add_device(p)
@@ -333,7 +345,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "footprint": _cmd_footprint,
         "transform": _cmd_transform,
     }
-    return handlers[args.command](args)
+    status = handlers[args.command](args)
+    if getattr(args, "sim_stats", False):
+        print()
+        print(global_sim_stats().summary())
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

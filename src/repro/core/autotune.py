@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import SimulationEngine
+from ..gpusim.session import SimulationContext, default_context
 from ..layers.base import PoolSpec
 from ..layers.pooling_kernels import PoolingCHWN, PoolingCoarsenedCHWN
 
@@ -47,6 +48,7 @@ def autotune_pooling(
     spec: PoolSpec,
     max_factor: int = 8,
     initial: int = 2,
+    context: SimulationContext | None = None,
 ) -> TuneResult:
     """Hill-climb (ux, uy) for one pooling layer.
 
@@ -59,7 +61,7 @@ def autotune_pooling(
     """
     if max_factor < 1 or initial < 1:
         raise ValueError("factors must be at least 1")
-    engine = SimulationEngine(device, check_memory=False)
+    engine = (context or default_context(device)).engine(check_memory=False)
     trace: list[tuple[int, int, float]] = []
 
     baseline = _time(engine, spec, 1, 1)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import SimulationEngine
+from ..gpusim.session import SimulationContext, default_context
 from ..layers.base import ConvSpec
 from ..layers.conv_kernels import make_conv_kernel
 from .heuristic import LayoutThresholds
@@ -68,6 +69,7 @@ def calibrate(
     reference: ConvSpec = REFERENCE_SHAPE,
     n_values: tuple[int, ...] = N_SWEEP,
     c_values: tuple[int, ...] = C_SWEEP,
+    context: SimulationContext | None = None,
 ) -> CalibrationResult:
     """Recover (Ct, Nt) for a device from the Fig. 4 style sweeps.
 
@@ -76,7 +78,7 @@ def calibrate(
     * **Ct** — smallest swept C where the NCHW path wins, measured at a
       batch *below* Nt so the N-rule does not mask the C crossover.
     """
-    engine = SimulationEngine(device, check_memory=False)
+    engine = (context or default_context(device)).engine(check_memory=False)
     profiling_ms = 0.0
 
     n_points: list[SweepPoint] = []

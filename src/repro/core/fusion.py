@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..gpusim.device import DeviceSpec
-from ..gpusim.engine import SimulationEngine
 from ..gpusim.kernel import KernelModel
+from ..gpusim.session import SimulationContext, default_context
 from ..layers.base import SoftmaxSpec
 from ..layers.softmax_kernels import (
     FusedParallelSoftmax,
@@ -72,9 +72,11 @@ def fuse_softmax(
     return FusedParallelSoftmax(spec) if parallelize else FusedSoftmax(spec)
 
 
-def fusion_report(spec: SoftmaxSpec, device: DeviceSpec) -> FusionReport:
+def fusion_report(
+    spec: SoftmaxSpec, device: DeviceSpec, context: SimulationContext | None = None
+) -> FusionReport:
     """Apply the pass stage by stage and measure each stage's effect."""
-    engine = SimulationEngine(device, check_memory=False)
+    engine = (context or default_context(device)).engine(check_memory=False)
     baseline = engine.run(five_kernel_softmax(spec))
     fused = engine.run(FusedSoftmax(spec))
     parallel = engine.run(FusedParallelSoftmax(spec))

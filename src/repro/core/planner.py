@@ -24,6 +24,7 @@ from enum import Enum
 
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import SimulationEngine
+from ..gpusim.session import SimulationContext, default_context
 from ..layers.base import ConvSpec, PoolSpec, SoftmaxSpec
 from ..layers.softmax_kernels import make_softmax_kernel
 from ..tensors.layout import CHWN, NCHW, DataLayout
@@ -147,7 +148,7 @@ def _node_costs(
         from ..layers.pooling_kernels import make_pool_kernel
 
         if tune_pooling:
-            tuned = autotune_pooling(device, node.spec)
+            tuned = autotune_pooling(device, node.spec, context=engine.context)
             coarsen = (tuned.ux, tuned.uy)
             chwn_ms = tuned.time_ms
             impl = (
@@ -201,8 +202,9 @@ def _build_costs(
     tune_pooling: bool,
     allow_fft: bool,
     layouts: tuple[DataLayout, ...] = PLAN_LAYOUTS,
+    context: SimulationContext | None = None,
 ) -> list[_LayerCosts]:
-    engine = SimulationEngine(device, check_memory=False)
+    engine = (context or default_context(device)).engine(check_memory=False)
     return [
         _node_costs(engine, node, device, tune_pooling, allow_fft, layouts)
         for node in nodes
@@ -245,10 +247,11 @@ def plan_single_layout(
     tune_pooling: bool = False,
     allow_fft: bool = True,
     strategy: str | None = None,
+    context: SimulationContext | None = None,
 ) -> LayoutPlan:
     """Cost of running the whole network in one fixed layout (the existing
     libraries' behaviour)."""
-    costs = _build_costs(device, nodes, tune_pooling, allow_fft)
+    costs = _build_costs(device, nodes, tune_pooling, allow_fft, context=context)
     layouts = [layout] * len(nodes)
     return _assemble(
         device, nodes, costs, layouts, strategy or f"single-{layout}"
@@ -261,6 +264,7 @@ def plan_with_heuristic(
     thresholds: LayoutThresholds | None = None,
     tune_pooling: bool = True,
     allow_fft: bool = True,
+    context: SimulationContext | None = None,
 ) -> LayoutPlan:
     """The paper's mechanism: per-layer (Ct, Nt) rules + transform-cost
     fine-tuning.
@@ -271,7 +275,7 @@ def plan_with_heuristic(
     tiny first-layer convolutions like CV9 in the surrounding layout).
     """
     thresholds = thresholds or thresholds_for(device)
-    costs = _build_costs(device, nodes, tune_pooling, allow_fft)
+    costs = _build_costs(device, nodes, tune_pooling, allow_fft, context=context)
 
     preferred: list[DataLayout] = []
     for node in nodes:
@@ -326,6 +330,7 @@ def plan_optimal(
     tune_pooling: bool = True,
     allow_fft: bool = True,
     layouts: tuple[DataLayout, ...] = PLAN_LAYOUTS,
+    context: SimulationContext | None = None,
 ) -> LayoutPlan:
     """Dynamic program over (layer, layout) states — minimal total time
     including transforms.
@@ -336,7 +341,7 @@ def plan_optimal(
     """
     if not layouts:
         raise ValueError("need at least one candidate layout")
-    costs = _build_costs(device, nodes, tune_pooling, allow_fft, layouts)
+    costs = _build_costs(device, nodes, tune_pooling, allow_fft, layouts, context)
     n = len(nodes)
     if n == 0:
         return LayoutPlan(steps=(), device=device.name, strategy="optimal")

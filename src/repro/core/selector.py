@@ -17,9 +17,14 @@ from dataclasses import dataclass
 
 from ..gpusim.engine import GpuOutOfMemoryError, SimulationEngine
 from ..gpusim.kernel import KernelModel
+from ..gpusim.session import SimulationContext
 from ..layers.base import ConvSpec
 from ..layers.conv_kernels import ConvUnsupportedError, make_conv_kernel
 from ..tensors.layout import CHWN, NCHW, NHWC, DataLayout
+
+#: Selection routines accept either an engine view or a bare session —
+#: both expose ``run`` against a shared structural timing cache.
+Simulator = SimulationEngine | SimulationContext
 
 #: Implementations valid per layout (Section IV.D).  NHWC exists only via
 #: cuDNN's repack-to-NCHW path (paper footnote 1), so it never wins — it is
@@ -45,7 +50,7 @@ class ConvChoice:
 
 
 def try_conv_time(
-    engine: SimulationEngine, spec: ConvSpec, implementation: str
+    engine: Simulator, spec: ConvSpec, implementation: str
 ) -> tuple[float, KernelModel] | None:
     """Simulated time for one implementation, or None if it cannot run
     (unsupported configuration or device OOM)."""
@@ -58,7 +63,7 @@ def try_conv_time(
 
 
 def best_conv_for_layout(
-    engine: SimulationEngine,
+    engine: Simulator,
     spec: ConvSpec,
     layout: DataLayout,
     allow_fft: bool = True,
@@ -89,7 +94,7 @@ def best_conv_for_layout(
 
 
 def cudnn_mode_conv(
-    engine: SimulationEngine, spec: ConvSpec, mode: str
+    engine: Simulator, spec: ConvSpec, mode: str
 ) -> ConvChoice:
     """Model one cuDNN execution mode with MM fallback.
 

@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..gpusim.device import ArchProfile, DeviceSpec, register_device
-from ..gpusim.engine import SimulationEngine
 from ..gpusim.kernel import KernelModel
+from ..gpusim.session import SimulationContext, default_context
 from ..layers.backward_kernels import ScaledKernel
 from ..layers.base import ConvSpec
 from ..layers.conv_kernels import make_conv_kernel
@@ -101,12 +101,19 @@ class Fp16LayerComparison:
 
 
 def compare_layouts_fp16(
-    device: DeviceSpec, layers: dict[str, ConvSpec] | None = None
+    device: DeviceSpec,
+    layers: dict[str, ConvSpec] | None = None,
+    context: SimulationContext | None = None,
 ) -> list[Fp16LayerComparison]:
-    """Re-run the Fig. 3 layout comparison in both precisions."""
+    """Re-run the Fig. 3 layout comparison in both precisions.
+
+    ``context`` serves the FP32 side; the FP16 side always uses the shared
+    session of the derived FP16 device (its spec differs, so its timings
+    can never share cache entries with the FP32 run anyway).
+    """
     layers = layers or CONV_LAYERS
-    engine32 = SimulationEngine(device, check_memory=False)
-    engine16 = SimulationEngine(fp16_device(device), check_memory=False)
+    engine32 = (context or default_context(device)).engine(check_memory=False)
+    engine16 = default_context(fp16_device(device)).engine(check_memory=False)
     out: list[Fp16LayerComparison] = []
     for name, spec in layers.items():
         t32 = {
@@ -138,15 +145,16 @@ def memory_bound_share(
     implementation: str,
     fp16: bool = False,
     math_only: bool = False,
+    context: SimulationContext | None = None,
 ) -> float:
     """Fraction of a layer's time spent on the memory side."""
     if fp16:
-        engine = SimulationEngine(fp16_device(device), check_memory=False)
+        engine = default_context(fp16_device(device)).engine(check_memory=False)
         stats = engine.run(
             as_fp16(make_conv_kernel(spec, implementation), math_only=math_only)
         )
     else:
-        engine = SimulationEngine(device, check_memory=False)
+        engine = (context or default_context(device)).engine(check_memory=False)
         stats = engine.run(make_conv_kernel(spec, implementation))
     denom = stats.memory_ms + stats.compute_ms
     return stats.memory_ms / denom if denom else 0.0

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from ..core.planner import LayoutPlan, NodeKind
 from ..gpusim.device import DeviceSpec
+from ..gpusim.session import SimulationContext
 from ..layers.base import ConvSpec, FCSpec, SoftmaxSpec
 from ..layers.conv_kernels import make_conv_kernel
 from ..tensors.tensor import TensorDesc
@@ -124,7 +125,10 @@ def network_footprint(
 
 
 def plan_within_memory(
-    device: DeviceSpec, net: Net, training: bool = False
+    device: DeviceSpec,
+    net: Net,
+    training: bool = False,
+    context: SimulationContext | None = None,
 ) -> tuple[LayoutPlan, MemoryFootprint]:
     """Plan layouts subject to the card's memory capacity.
 
@@ -136,11 +140,11 @@ def plan_within_memory(
     """
     from ..core.planner import plan_optimal
 
-    nodes = net.planner_nodes(device)
-    plan = plan_optimal(device, nodes)
+    nodes = net.planner_nodes(device, context=context)
+    plan = plan_optimal(device, nodes, context=context)
     footprint = network_footprint(net, plan, training=training)
     if not footprint.fits(device):
-        plan = plan_optimal(device, nodes, allow_fft=False)
+        plan = plan_optimal(device, nodes, allow_fft=False, context=context)
         footprint = network_footprint(net, plan, training=training)
     return plan, footprint
 

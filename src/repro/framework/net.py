@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.planner import LayoutPlan, NodeKind, PlanNode
 from ..gpusim.device import DeviceSpec
-from ..gpusim.engine import SimulationEngine
+from ..gpusim.session import SimulationContext, default_context
 from ..layers.base import ConvSpec, FCSpec, PoolSpec, SoftmaxSpec
 from ..layers.conv import conv_forward, make_filters
 from ..layers.elementwise import (
@@ -25,7 +25,7 @@ from ..layers.elementwise import (
     make_lrn_kernel,
     relu_forward,
 )
-from ..layers.fc import fc_forward, flatten_4d, make_fc_weights
+from ..layers.fc import fc_forward, flatten_4d, make_fc_kernel, make_fc_weights
 from ..layers.softmax import softmax_forward
 from ..tensors.layout import NCHW, DataLayout
 from ..tensors.tensor import Tensor4D
@@ -121,20 +121,41 @@ def resolve(net: NetworkDef) -> list[ResolvedLayer]:
 
 
 class Net:
-    """A resolved network: planner view + numeric execution."""
+    """A resolved network: planner view + numeric execution.
 
-    def __init__(self, definition: NetworkDef) -> None:
+    A shared :class:`SimulationContext` may be attached at construction (or
+    passed per call); every simulation the net performs then feeds one
+    structural timing cache instead of a private throwaway engine.
+    """
+
+    def __init__(
+        self, definition: NetworkDef, context: SimulationContext | None = None
+    ) -> None:
         self.definition = definition
         self.layers = resolve(definition)
+        self.context = context
 
     @property
     def name(self) -> str:
         return self.definition.name
 
+    def _context_for(
+        self, device: DeviceSpec, context: SimulationContext | None
+    ) -> SimulationContext:
+        """Per-call context > net-level context (if device matches) > shared
+        default session for the device."""
+        if context is not None:
+            return context
+        if self.context is not None and self.context.device == device:
+            return self.context
+        return default_context(device)
+
     # -- planner interface -------------------------------------------------
-    def planner_nodes(self, device: DeviceSpec) -> list[PlanNode]:
+    def planner_nodes(
+        self, device: DeviceSpec, context: SimulationContext | None = None
+    ) -> list[PlanNode]:
         """The layer chain as the layout planner consumes it."""
-        engine = SimulationEngine(device, check_memory=False)
+        engine = self._context_for(device, context).engine(check_memory=False)
         nodes: list[PlanNode] = []
         for layer in self.layers:
             if layer.kind in (NodeKind.CONV, NodeKind.POOL):
@@ -154,8 +175,6 @@ class Net:
             else:  # CLASSIFIER
                 spec = layer.spec
                 if isinstance(spec, FCSpec):
-                    from ..layers.fc import make_fc_kernel
-
                     ms = engine.run(make_fc_kernel(spec)).time_ms
                     nodes.append(
                         PlanNode(layer.name, layer.kind, None, fixed_ms=ms,
@@ -259,6 +278,8 @@ def _numeric_conv_impl(plan_impl: str) -> str:
     return "direct"
 
 
-def build_net(definition: NetworkDef) -> Net:
+def build_net(
+    definition: NetworkDef, context: SimulationContext | None = None
+) -> Net:
     """Convenience constructor."""
-    return Net(definition)
+    return Net(definition, context=context)

@@ -31,6 +31,14 @@ from .engine import (
     SimulationEngine,
     simulate,
 )
+from .session import (
+    SimStats,
+    SimulationContext,
+    default_context,
+    global_sim_stats,
+    reset_default_contexts,
+    structural_key,
+)
 from .kernel import ComposedKernel, KernelModel, LaunchConfig, MemoryProfile
 from .occupancy import Occupancy, compute_occupancy, latency_hiding_factor
 from .reporting import (
@@ -79,6 +87,8 @@ __all__ = [
     "RowBufferStats",
     "SequenceStats",
     "SetAssociativeCache",
+    "SimStats",
+    "SimulationContext",
     "SimulationEngine",
     "TITAN_BLACK",
     "TITAN_X",
@@ -90,15 +100,19 @@ __all__ = [
     "comparison_table",
     "compute_occupancy",
     "conflict_degree",
+    "default_context",
     "get_device",
+    "global_sim_stats",
     "kernel_report",
     "latency_hiding_factor",
     "list_devices",
     "memory_service_time",
     "register_device",
+    "reset_default_contexts",
     "roofline_point",
     "sample_indices",
     "simulate",
+    "structural_key",
     "stream_addresses",
     "strided_pattern",
     "tile_column_access",

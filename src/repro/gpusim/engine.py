@@ -1,14 +1,12 @@
-"""Simulation engine: run kernel models, sequences, and whole pipelines.
+"""Simulation engine: the compatibility facade over simulation sessions.
 
-The engine is the single entry point the rest of the library uses to turn
-:class:`~repro.gpusim.kernel.KernelModel` objects into
-:class:`~repro.gpusim.timing.KernelStats`.  It adds:
-
-* device-memory (OOM) checking against the card's capacity — the mechanism
-  behind the paper's "no results for both FFT options due to execution
-  failures" on CV5/CV6;
-* sequencing of multi-kernel implementations with per-launch overheads;
-* a tiny result cache so repeated planner queries stay cheap.
+Historically this module owned the cache and OOM logic; both now live in
+:mod:`repro.gpusim.session`.  :class:`SimulationEngine` remains the familiar
+entry point — everything it did (OOM checking, sequencing, memoization) it
+still does — but it is a thin shim delegating to a :class:`SimulationContext`.
+Engines built without an explicit context share the process-wide default
+session for their device, so the old engine-per-call-site pattern now feeds
+one hot structural cache instead of a dead ``id(model)``-keyed one.
 """
 
 from __future__ import annotations
@@ -16,86 +14,65 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .device import DeviceSpec
-from .kernel import ComposedKernel, KernelModel
-from .timing import KernelStats, time_model
+from .kernel import KernelModel
+from .session import (
+    GpuOutOfMemoryError,
+    SequenceStats,
+    SimulationContext,
+    default_context,
+)
+from .timing import KernelStats
 
-
-class GpuOutOfMemoryError(RuntimeError):
-    """Raised when a kernel's footprint exceeds the device's DRAM."""
-
-    def __init__(self, kernel: str, required: float, available: float) -> None:
-        self.kernel = kernel
-        self.required_bytes = required
-        self.available_bytes = available
-        super().__init__(
-            f"{kernel}: requires {required / 2**30:.2f} GiB device memory, "
-            f"card has {available / 2**30:.2f} GiB"
-        )
-
-
-@dataclass(frozen=True)
-class SequenceStats:
-    """Aggregated stats for a sequence of kernel launches."""
-
-    name: str
-    kernels: tuple[KernelStats, ...]
-
-    @property
-    def time_ms(self) -> float:
-        return sum(k.time_ms for k in self.kernels)
-
-    @property
-    def flops(self) -> float:
-        return sum(k.flops for k in self.kernels)
-
-    @property
-    def dram_bytes(self) -> float:
-        return sum(k.dram_bytes for k in self.kernels)
-
-    @property
-    def useful_bytes(self) -> float:
-        return sum(k.useful_bytes for k in self.kernels)
-
-    @property
-    def achieved_gflops(self) -> float:
-        return self.flops / (self.time_ms * 1e6) if self.time_ms else 0.0
-
-    @property
-    def achieved_bandwidth_gbs(self) -> float:
-        return self.dram_bytes / (self.time_ms * 1e6) if self.time_ms else 0.0
-
-    @property
-    def effective_bandwidth_gbs(self) -> float:
-        return self.useful_bytes / (self.time_ms * 1e6) if self.time_ms else 0.0
+__all__ = [
+    "GpuOutOfMemoryError",
+    "SequenceStats",
+    "SimulationContext",
+    "SimulationEngine",
+    "default_context",
+    "simulate",
+]
 
 
 @dataclass
 class SimulationEngine:
-    """Times kernel models on a device, with OOM checks and memoization."""
+    """Times kernel models on a device, with OOM checks and memoization.
+
+    Compatibility shim: construction is unchanged, but the timing cache is
+    the structural, content-addressed cache of the underlying
+    :class:`~repro.gpusim.session.SimulationContext` (the shared per-device
+    default session unless one is passed explicitly), so structurally equal
+    kernels built at different call sites share one timing.
+    """
 
     device: DeviceSpec
     check_memory: bool = True
     tensor_bytes_resident: float = 0.0
-    # Keyed by id(model); the value keeps a strong reference to the model so
-    # its id cannot be recycled by the garbage collector.
-    _cache: dict[tuple[int, str], tuple[KernelModel, KernelStats]] = field(
-        default_factory=dict, repr=False
-    )
+    context: SimulationContext | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.context is None:
+            self.context = default_context(self.device)
+        elif self.context.device is not self.device and (
+            self.context.device != self.device
+        ):
+            raise ValueError(
+                f"context simulates {self.context.device.name!r}, "
+                f"engine asked for {self.device.name!r}"
+            )
+
+    @property
+    def stats(self):
+        """The underlying session's instrumentation counters."""
+        return self.context.stats
 
     def run(self, model: KernelModel) -> KernelStats:
         """Time one kernel model; raises :class:`GpuOutOfMemoryError` if its
         workspace plus resident tensors exceed device memory."""
-        if isinstance(model, ComposedKernel):
-            seq = self.run_sequence(model.kernels, name=model.name)
-            return _collapse_sequence(seq, self.device)
-        self._check_fit(model)
-        key = (id(model), self.device.name)
-        hit = self._cache.get(key)
-        if hit is not None and hit[0] is model:
-            return hit[1]
-        stats = time_model(self.device, model)
-        self._cache[key] = (model, stats)
-        return stats
+        return self.context.run(
+            model,
+            check_memory=self.check_memory,
+            tensor_bytes_resident=self.tensor_bytes_resident,
+        )
 
     def run_sequence(
         self, models: list[KernelModel], name: str = "sequence"
@@ -103,38 +80,12 @@ class SimulationEngine:
         """Time a dependent sequence of kernels (no overlap between them:
         the paper's inter-kernel data passes through off-chip memory, so the
         next kernel cannot start early)."""
-        return SequenceStats(name=name, kernels=tuple(self.run(m) for m in models))
-
-    def _check_fit(self, model: KernelModel) -> None:
-        if not self.check_memory:
-            return
-        required = model.workspace_bytes() + self.tensor_bytes_resident
-        if required > self.device.dram_bytes:
-            raise GpuOutOfMemoryError(model.name, required, self.device.dram_bytes)
-
-
-def _collapse_sequence(seq: SequenceStats, device: DeviceSpec) -> KernelStats:
-    """Fold a sequence into a single KernelStats for uniform reporting."""
-    first = seq.kernels[0]
-    return KernelStats(
-        name=seq.name,
-        device=device.name,
-        time_ms=seq.time_ms,
-        compute_ms=sum(k.compute_ms for k in seq.kernels),
-        memory_ms=sum(k.memory_ms for k in seq.kernels),
-        launch_ms=sum(k.launch_ms for k in seq.kernels),
-        flops=seq.flops,
-        dram_bytes=seq.dram_bytes,
-        useful_bytes=seq.useful_bytes,
-        transactions=sum(k.transactions for k in seq.kernels),
-        occupancy=first.occupancy,
-        bound=max(seq.kernels, key=lambda k: k.time_ms).bound,
-        alu_utilization=seq.flops
-        / (seq.time_ms * 1e6 * device.peak_gflops)
-        if seq.time_ms
-        else 0.0,
-        n_launches=sum(k.n_launches for k in seq.kernels),
-    )
+        return self.context.run_sequence(
+            models,
+            name=name,
+            check_memory=self.check_memory,
+            tensor_bytes_resident=self.tensor_bytes_resident,
+        )
 
 
 def simulate(device: DeviceSpec, model: KernelModel) -> KernelStats:

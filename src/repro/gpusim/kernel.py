@@ -161,6 +161,10 @@ class KernelModel(ABC):
     name: str = "kernel"
     #: number of back-to-back kernel launches this model represents
     n_launches: int = 1
+    #: instance attributes that are derived memo caches, not structure —
+    #: excluded from :meth:`structural_state` so a used kernel hashes the
+    #: same as a freshly built one
+    structural_exclude: frozenset[str] = frozenset()
 
     @abstractmethod
     def launch_config(self, device: DeviceSpec) -> LaunchConfig:
@@ -181,6 +185,19 @@ class KernelModel(ABC):
     def workspace_bytes(self) -> float:
         """Extra device memory required beyond inputs/outputs (OOM checks)."""
         return 0.0
+
+    def structural_state(self) -> dict[str, object]:
+        """The instance state that determines this kernel's timing.
+
+        Together with the class identity and the device spec this is the
+        basis of the structural cache key in :mod:`repro.gpusim.session`:
+        two models of the same class with equal structural state produce
+        identical stats and may share one cache entry.  Subclasses with
+        derived memo attributes list them in ``structural_exclude``.
+        """
+        return {
+            k: v for k, v in vars(self).items() if k not in self.structural_exclude
+        }
 
 
 @dataclass

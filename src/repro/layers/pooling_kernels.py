@@ -38,6 +38,8 @@ _ITEM = 4
 
 
 class _PoolingKernelBase(KernelModel):
+    structural_exclude = frozenset({"_profile_cache"})
+
     def __init__(self, spec: PoolSpec) -> None:
         self.spec = spec
         self._profile_cache: dict[str, MemoryProfile] = {}

@@ -25,7 +25,7 @@ import numpy as np
 from ..gpusim.coalescing import analyze_warps
 from ..gpusim.device import DeviceSpec
 from ..gpusim.kernel import KernelModel, LaunchConfig, MemoryProfile
-from ..gpusim.timing import KernelStats, time_model
+from ..gpusim.timing import KernelStats
 from ..gpusim.trace import sample_indices
 from .layout import DataLayout
 from .tensor import TensorDesc
@@ -227,8 +227,15 @@ def make_transform_kernel(
 def transform_stats(
     device: DeviceSpec, desc: TensorDesc, target: DataLayout, method: str = "auto"
 ) -> KernelStats:
-    """Simulate one relayout and return its kernel statistics."""
-    return time_model(device, make_transform_kernel(desc, target, method))
+    """Simulate one relayout and return its kernel statistics.
+
+    Served from the device's shared simulation session: the layout planner
+    asks for the same boundary transforms many times per dynamic program.
+    """
+    from ..gpusim.session import default_context
+
+    kernel = make_transform_kernel(desc, target, method)
+    return default_context(device).run(kernel, check_memory=False)
 
 
 def transform_time_ms(

@@ -1,6 +1,5 @@
 """One-time threshold calibration: recovers the paper's per-device pairs."""
 
-import pytest
 
 from repro.core import calibrate
 from repro.core.calibration import REFERENCE_SHAPE

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import best_conv_for_layout, cudnn_mode_conv, try_conv_time
 from repro.gpusim import SimulationEngine
-from repro.layers import ConvUnsupportedError
 from repro.networks import CONV_LAYERS
 from repro.tensors import CHWN, NCHW, DataLayout
 

@@ -14,7 +14,7 @@ from repro.framework import (
     SoftmaxDef,
     resolve,
 )
-from repro.layers import ConvSpec, PoolSpec, SoftmaxSpec
+from repro.layers import ConvSpec, SoftmaxSpec
 from repro.networks import build_network
 from repro.tensors import CHWN, NCHW
 

@@ -5,8 +5,6 @@ model must satisfy — more work never takes less time, efficiency never
 exceeds the roofline, occupancy responds to resources the right way.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

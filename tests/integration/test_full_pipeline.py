@@ -88,7 +88,7 @@ class TestJourney:
         images = np.repeat(ds.images, 3, axis=1)
         net = Net(build_network("cifar", batch=16))
         # shrink the classifier to the synthetic label space
-        from repro.framework import FCDef, NetworkDef, SoftmaxDef
+        from repro.framework import FCDef, NetworkDef
 
         defn = net.definition
         layers = tuple(

@@ -7,7 +7,6 @@ the substrate is a performance model, not the authors' testbed — but every
 
 from dataclasses import replace
 
-import pytest
 
 from repro.core import calibrate
 from repro.gpusim import SimulationEngine, simulate
@@ -18,7 +17,7 @@ from repro.layers import (
     make_conv_kernel,
 )
 from repro.networks import CONV_LAYERS, FIG13_SOFTMAX
-from repro.tensors import CHWN, NCHW, TensorDesc, transform_time_ms
+from repro.tensors import CHWN, NCHW, transform_time_ms
 
 
 class TestFig4Crossovers:

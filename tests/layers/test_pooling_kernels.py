@@ -4,7 +4,6 @@ import pytest
 
 from repro.gpusim import simulate
 from repro.layers import (
-    PoolSpec,
     PoolingCHWN,
     PoolingCoarsenedCHWN,
     PoolingNCHWBlockPerRow,

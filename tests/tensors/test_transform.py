@@ -1,7 +1,6 @@
 """Structural transform analysis: group detection and index relayout."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

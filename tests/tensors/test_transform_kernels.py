@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpusim import TITAN_BLACK, simulate
+from repro.gpusim import simulate
 from repro.tensors import (
     CHWN,
     NCHW,

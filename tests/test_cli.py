@@ -108,3 +108,16 @@ class TestCommands:
         assert main(["sweep", "--layer", "CV6", "--dim", "n",
                      "--values", "32,64", "--impls", "im2col,fft"]) == 0
         assert "n/a" in capsys.readouterr().out
+
+
+class TestSimStats:
+    def test_plan_prints_counters(self, capsys):
+        assert main(["plan", "--network", "lenet", "--sim-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "simulation stats:" in out
+        assert "kernel queries" in out
+        assert "kernels timed" in out
+
+    def test_off_by_default(self, capsys):
+        assert main(["plan", "--network", "lenet"]) == 0
+        assert "simulation stats:" not in capsys.readouterr().out
