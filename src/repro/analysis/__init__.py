@@ -1,7 +1,20 @@
-"""Sensitivity analysis: generalize the paper's Fig. 4 sweeps to any
-dimension and locate implementation crossovers."""
+"""Analysis tools: Fig. 4-style sensitivity sweeps, gain attribution, and
+the ``repro lint`` static analyzer for netdefs, layout plans, and kernels."""
 
 from .attribution import GainAttribution, attribute_gains
+from .lint import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    LintReport,
+    UnknownRuleError,
+    iter_rules,
+    lint_kernel,
+    lint_netdef,
+    lint_netdef_text,
+    lint_network,
+    lint_plan,
+)
+from .rules import REGISTRY, Diagnostic, Finding, Rule, Severity
 from .sweeps import (
     SweepPoint,
     SweepResult,
@@ -12,11 +25,26 @@ from .sweeps import (
 )
 
 __all__ = [
+    "DEFAULT_CONFIG",
+    "Diagnostic",
+    "Finding",
     "GainAttribution",
-    "attribute_gains",
+    "LintConfig",
+    "LintReport",
+    "REGISTRY",
+    "Rule",
+    "Severity",
     "SweepPoint",
     "SweepResult",
+    "UnknownRuleError",
+    "attribute_gains",
     "crossovers",
+    "iter_rules",
+    "lint_kernel",
+    "lint_netdef",
+    "lint_netdef_text",
+    "lint_network",
+    "lint_plan",
     "sweep_conv",
     "sweep_pool",
     "sweep_softmax",

@@ -1,0 +1,33 @@
+"""Rule catalog for the static analyzer.
+
+Importing this package populates :data:`REGISTRY` with every built-in rule:
+``N0xx`` network-definition checks, ``L0xx`` layout-plan checks, and
+``K0xx`` kernel/device-limit checks.
+"""
+
+from . import kernel_rules, layout_rules, netdef_rules  # noqa: F401  (registration)
+from .base import (
+    REGISTRY,
+    Diagnostic,
+    Finding,
+    KernelScope,
+    NetdefScope,
+    PlanScope,
+    Rule,
+    Severity,
+    rule,
+    rules_for,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Finding",
+    "KernelScope",
+    "NetdefScope",
+    "PlanScope",
+    "REGISTRY",
+    "Rule",
+    "Severity",
+    "rule",
+    "rules_for",
+]

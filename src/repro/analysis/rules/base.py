@@ -1,0 +1,198 @@
+"""Rule registry and diagnostic vocabulary for the static analyzer.
+
+Every check the linter can perform is a :class:`Rule` with a stable ID
+(``N0xx`` network definitions, ``L0xx`` layout plans, ``K0xx`` kernel
+models), a default severity, and a human rationale.  Rules register
+themselves with the :func:`rule` decorator at import time; the runner in
+:mod:`repro.analysis.lint` selects the active subset per scope and turns
+the findings each rule yields into :class:`Diagnostic` records.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from ...core.heuristic import LayoutThresholds
+from ...core.planner import LayoutPlan, PlanNode, PlanStep
+from ...framework.netdef import NetworkDef
+from ...gpusim.device import DeviceSpec
+from ...gpusim.kernel import KernelModel, LaunchConfig, MemoryProfile
+
+
+class Severity(Enum):
+    """Diagnostic severity, ordered error > warning > info."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One concrete finding: a rule firing on one subject.
+
+    ``subject`` names the offending layer/step/kernel; ``detail`` carries
+    machine-readable context (limits, distances, layout names) for the JSON
+    output mode.
+    """
+
+    rule_id: str
+    severity: Severity
+    subject: str
+    message: str
+    network: str = ""
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        scope = f"{self.network}:{self.subject}" if self.network else self.subject
+        return f"{scope}: {self.severity.value} {self.rule_id}: {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "subject": self.subject,
+            "network": self.network,
+            "message": self.message,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class Finding:
+    """What a rule's check yields; the runner stamps rule ID and severity."""
+
+    subject: str
+    message: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Scopes: the three inputs rules can inspect
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NetdefScope:
+    """A network definition under analysis.
+
+    ``error`` carries a parse/construction failure message when the
+    definition could not even be built — only rule N000 consumes it.
+    """
+
+    net: NetworkDef | None
+    error: str | None = None
+
+
+@dataclass
+class PlanScope:
+    """A layout plan under analysis, optionally with the planner nodes it
+    was derived from and the device's heuristic thresholds."""
+
+    device: DeviceSpec
+    plan: LayoutPlan
+    nodes: tuple[PlanNode, ...] | None = None
+    thresholds: LayoutThresholds | None = None
+    #: +/- range around (Ct, Nt) treated as the ambiguous region (L003)
+    margin: int = 1
+
+    @property
+    def layout_steps(self) -> tuple[PlanStep, ...]:
+        return self.plan.layout_steps()
+
+
+@dataclass
+class KernelScope:
+    """One kernel model checked against one device's limits."""
+
+    device: DeviceSpec
+    kernel: KernelModel
+    owner: str = ""
+    _launch: LaunchConfig | None = None
+    _profile: MemoryProfile | None = None
+
+    @property
+    def subject(self) -> str:
+        return self.owner or self.kernel.name
+
+    @property
+    def launch(self) -> LaunchConfig:
+        if self._launch is None:
+            self._launch = self.kernel.launch_config(self.device)
+        return self._launch
+
+    @property
+    def profile(self) -> MemoryProfile:
+        if self._profile is None:
+            self._profile = self.kernel.memory_profile(self.device)
+        return self._profile
+
+
+Scope = NetdefScope | PlanScope | KernelScope
+
+CheckFn = Callable[[Any], Iterable[Finding]]
+
+_SCOPE_OF_PREFIX = {"N": "netdef", "L": "plan", "K": "kernel"}
+_ID_PATTERN = re.compile(r"^[NLK]\d{3}$")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check: identity, documentation, and the check itself."""
+
+    id: str
+    severity: Severity
+    summary: str
+    check: CheckFn
+    rationale: str = ""
+    example: str = ""
+
+    @property
+    def scope(self) -> str:
+        """Which input kind the rule inspects (netdef/plan/kernel)."""
+        return _SCOPE_OF_PREFIX[self.id[0]]
+
+
+REGISTRY: dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str,
+    severity: Severity,
+    summary: str,
+    rationale: str = "",
+    example: str = "",
+) -> Callable[[CheckFn], CheckFn]:
+    """Register a check function under a stable rule ID."""
+    if not _ID_PATTERN.match(rule_id):
+        raise ValueError(f"rule id {rule_id!r} must match N/L/K + 3 digits")
+    if rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+
+    def decorator(fn: CheckFn) -> CheckFn:
+        REGISTRY[rule_id] = Rule(
+            id=rule_id,
+            severity=severity,
+            summary=summary,
+            check=fn,
+            rationale=rationale,
+            example=example,
+        )
+        return fn
+
+    return decorator
+
+
+def rules_for(scope: str) -> Iterator[Rule]:
+    """All registered rules for one scope, in rule-ID order."""
+    for rule_id in sorted(REGISTRY):
+        if REGISTRY[rule_id].scope == scope:
+            yield REGISTRY[rule_id]

@@ -1,0 +1,225 @@
+"""K0xx rules: kernel launch configurations against device limits.
+
+Hard limits reuse :func:`repro.gpusim.occupancy.check_launch` — the same
+predicate the occupancy calculator enforces — so the linter and the
+simulator can never disagree about what is launchable.  Soft rules look at
+the occupancy result and the post-coalescing memory profile for patterns
+the paper identifies as bandwidth killers (uncoalesced access, shared-
+memory bank conflicts, partial warps, underfilled devices).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ...gpusim.occupancy import check_launch, compute_occupancy
+from .base import Finding, KernelScope, Severity, rule
+
+#: check_launch violation codes that mean "zero blocks fit on an SM"
+_ZERO_OCCUPANCY_CODES = frozenset({"threads_per_sm", "regs_per_block", "smem_per_sm"})
+
+#: minimum occupancy fraction before K005 flags latency-hiding trouble
+LOW_OCCUPANCY_FRACTION = 0.25
+
+#: transactions-per-ideal-segment ratio above which K006 flags coalescing
+COALESCING_INFLATION_LIMIT = 4.0
+
+#: per-thread access widths the coalescing unit handles at full efficiency
+ALIGNED_ACCESS_BYTES = (4, 8, 16)
+
+
+def _violations(scope: KernelScope):
+    return check_launch(scope.device, scope.launch)
+
+
+@rule(
+    "K001",
+    Severity.ERROR,
+    "threads per block exceed the device limit",
+    rationale="The hardware refuses the launch outright; no occupancy or "
+    "timing question even arises.",
+    example="a 2048-thread block on a device capped at 1024",
+)
+def threads_per_block(scope: KernelScope) -> Iterator[Finding]:
+    for v in _violations(scope):
+        if v.code == "threads_per_block":
+            yield Finding(
+                scope.subject, v.message, {"actual": v.actual, "limit": v.limit}
+            )
+
+
+@rule(
+    "K002",
+    Severity.ERROR,
+    "per-block shared memory exceeds the device maximum",
+    rationale="Static shared-memory allocations above the per-block cap "
+    "fail at launch; tiled kernels must shrink their tiles instead.",
+    example="a 64 KiB tile on a 48 KiB/block device",
+)
+def smem_per_block(scope: KernelScope) -> Iterator[Finding]:
+    for v in _violations(scope):
+        if v.code == "smem_per_block":
+            yield Finding(
+                scope.subject, v.message, {"actual": v.actual, "limit": v.limit}
+            )
+
+
+@rule(
+    "K003",
+    Severity.ERROR,
+    "per-thread register demand exceeds the architectural maximum",
+    rationale="The compiler would spill to local memory long before this; "
+    "a model declaring more is describing an impossible kernel.",
+    example="regs_per_thread=300 on Kepler (max 255)",
+)
+def regs_per_thread(scope: KernelScope) -> Iterator[Finding]:
+    for v in _violations(scope):
+        if v.code == "regs_per_thread":
+            yield Finding(
+                scope.subject, v.message, {"actual": v.actual, "limit": v.limit}
+            )
+
+
+@rule(
+    "K004",
+    Severity.ERROR,
+    "zero-occupancy launch: no block fits on an SM",
+    rationale="Thread, register, or shared-memory demand per block exceeds "
+    "what one SM holds, so the kernel can never be resident — the "
+    "misleading 'zero bandwidth' state the occupancy fix now rejects.",
+    example="a block whose register file demand exceeds the whole SM's",
+)
+def zero_occupancy(scope: KernelScope) -> Iterator[Finding]:
+    for v in _violations(scope):
+        if v.code in _ZERO_OCCUPANCY_CODES:
+            yield Finding(
+                scope.subject,
+                v.message,
+                {"code": v.code, "actual": v.actual, "limit": v.limit},
+            )
+
+
+@rule(
+    "K005",
+    Severity.WARNING,
+    "low occupancy impairs latency hiding",
+    rationale="Below ~a quarter of the device's resident-warp maximum the "
+    "bandwidth model degrades linearly (the paper's softmax analysis); "
+    "check the binding limiter reported in the detail.",
+    example="a 24 KiB/block kernel limited to 2 blocks per SM",
+)
+def low_occupancy(scope: KernelScope) -> Iterator[Finding]:
+    if _violations(scope):
+        return  # hard errors already reported; occupancy is undefined
+    occ = compute_occupancy(scope.device, scope.launch)
+    if occ.fraction < LOW_OCCUPANCY_FRACTION:
+        yield Finding(
+            scope.subject,
+            f"occupancy {occ.fraction:.0%} of maximum (limited by "
+            f"{occ.limiter}); memory latency will be poorly hidden",
+            {"fraction": occ.fraction, "limiter": occ.limiter},
+        )
+
+
+@rule(
+    "K006",
+    Severity.WARNING,
+    "memory access pattern defeats coalescing",
+    rationale="Transactions far above the useful-byte minimum mean warps "
+    "touch scattered 32 B segments — the Fig. 7a failure mode that "
+    "motivates the tiled transformation kernels.",
+    example="column-strided stores issuing one transaction per element",
+)
+def uncoalesced_access(scope: KernelScope) -> Iterator[Finding]:
+    profile = scope.profile
+    ideal = profile.useful_bytes / 32.0
+    if ideal <= 0:
+        return
+    inflation = profile.total_transactions / ideal
+    if inflation >= COALESCING_INFLATION_LIMIT:
+        yield Finding(
+            scope.subject,
+            f"{inflation:.1f}x the transactions a coalesced kernel would "
+            "issue for the same useful bytes",
+            {"inflation": inflation},
+        )
+
+
+@rule(
+    "K007",
+    Severity.WARNING,
+    "shared-memory access pattern causes bank conflicts",
+    rationale="A conflict degree above 1 multiplies shared-memory replay "
+    "cycles; padding the tile row (e.g. [32][33]) removes it, as in the "
+    "paper's Transform-Opt1.",
+    example="an unpadded 32x32 transpose tile (32-way conflicts)",
+)
+def bank_conflicts(scope: KernelScope) -> Iterator[Finding]:
+    degree = scope.profile.smem_conflict_degree
+    if degree > 1.0:
+        yield Finding(
+            scope.subject,
+            f"average shared-memory replay degree {degree:.1f} "
+            "(1.0 is conflict-free)",
+            {"conflict_degree": degree},
+        )
+
+
+@rule(
+    "K008",
+    Severity.WARNING,
+    "block size is not a multiple of the warp size",
+    rationale="The trailing partial warp has predicated-off lanes that "
+    "still occupy issue slots and residency, wasting both.",
+    example="a 100-thread block on 32-lane warps",
+)
+def partial_warp_block(scope: KernelScope) -> Iterator[Finding]:
+    threads = scope.launch.threads_per_block
+    warp = scope.device.warp_size
+    if threads % warp:
+        yield Finding(
+            scope.subject,
+            f"{threads} threads per block is not a multiple of the "
+            f"{warp}-lane warp; the last warp runs partially masked",
+            {"threads_per_block": threads, "warp_size": warp},
+        )
+
+
+@rule(
+    "K009",
+    Severity.INFO,
+    "grid does not fill the device",
+    rationale="Fewer blocks than SMs leaves hardware idle regardless of "
+    "per-SM occupancy — the 'parallelism of the outer loop is not enough' "
+    "softmax situation.",
+    example="a 5-block grid on a 15-SM device",
+)
+def grid_underfills_device(scope: KernelScope) -> Iterator[Finding]:
+    blocks = scope.launch.total_blocks
+    if blocks < scope.device.sm_count:
+        yield Finding(
+            scope.subject,
+            f"grid of {blocks} block(s) cannot occupy all "
+            f"{scope.device.sm_count} SMs",
+            {"blocks": blocks, "sm_count": scope.device.sm_count},
+        )
+
+
+@rule(
+    "K010",
+    Severity.WARNING,
+    "per-thread access width is not coalescing-aligned",
+    rationale="The device's bandwidth derate table covers 4/8/16-byte "
+    "accesses; other widths split across segment boundaries and forfeit "
+    "the vectorization gain of the 8-byte mode.",
+    example="a kernel modelling 6-byte per-thread accesses",
+)
+def access_width(scope: KernelScope) -> Iterator[Finding]:
+    width = scope.profile.access_bytes
+    if width not in ALIGNED_ACCESS_BYTES:
+        yield Finding(
+            scope.subject,
+            f"dominant access width {width} B is not one of "
+            f"{list(ALIGNED_ACCESS_BYTES)}",
+            {"access_bytes": width},
+        )

@@ -1,0 +1,228 @@
+"""L0xx rules: layout-plan verification.
+
+The planner's output is a chain of layout-bearing steps with explicit
+transform records (:attr:`PlanStep.transformed_from`).  These rules walk
+that chain as a layout graph: every producer→consumer layout change must
+carry a transform, transform/inverse-transform islands are flagged for
+review, and each step's implementation must belong to its layout's family.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ...core.heuristic import (
+    conv_threshold_margins,
+    is_threshold_ambiguous,
+    thresholds_for,
+)
+from ...core.planner import NodeKind
+from ...core.selector import LAYOUT_IMPLEMENTATIONS, POOL_LAYOUT_IMPLEMENTATIONS
+from ...layers.base import ConvSpec
+from ...tensors.layout import CHWN
+from .base import Finding, PlanScope, Severity, rule
+
+
+@rule(
+    "L001",
+    Severity.ERROR,
+    "producer/consumer layout mismatch without an explicit transform",
+    rationale="The framework integration (Section IV.D) must insert a "
+    "transformation kernel wherever consecutive layers disagree on layout; "
+    "a silent mismatch means the consumer would read permuted garbage.",
+    example="a CHWN conv feeding an NCHW conv with no transform recorded",
+)
+def layout_mismatch(scope: PlanScope) -> Iterator[Finding]:
+    # Walk the FULL chain, not just layout-bearing steps: layout-agnostic
+    # steps (LRN, elementwise) can host a boundary transform whose target
+    # only `transformed_to` records.
+    current = None
+    for step in scope.plan.steps:
+        if step.transformed_from is not None:
+            if current is not None and step.transformed_from != current:
+                yield Finding(
+                    step.name,
+                    f"transform source {step.transformed_from} does not "
+                    f"match the producer layout {current}",
+                    {
+                        "producer": str(current),
+                        "transform_source": str(step.transformed_from),
+                    },
+                )
+            target = step.transformed_to or step.layout
+            if target is not None:
+                current = target
+        if step.layout is None:
+            continue
+        if current is None:
+            current = step.layout
+        elif step.layout != current:
+            yield Finding(
+                step.name,
+                f"input arrives in {current} but the step runs in "
+                f"{step.layout} with no transform recorded",
+                {"producer": str(current), "consumer": str(step.layout)},
+            )
+            current = step.layout
+
+
+@rule(
+    "L002",
+    Severity.WARNING,
+    "transform immediately undone by its inverse",
+    rationale="A single-layer layout island pays two boundary transforms; "
+    "the fine-tuning step (Section IV.D) keeps it only when the layer's "
+    "layout benefit exceeds both — verify that trade-off holds.",
+    example="NCHW -> CHWN for one pool, then CHWN -> NCHW straight back",
+)
+def redundant_transform_pair(scope: PlanScope) -> Iterator[Finding]:
+    steps = scope.layout_steps
+    for step, nxt in zip(steps, steps[1:]):
+        if (
+            step.transformed_from is not None
+            and nxt.transformed_from == step.layout
+            and nxt.layout == step.transformed_from
+        ):
+            yield Finding(
+                step.name,
+                f"transform {step.transformed_from} -> {step.layout} is "
+                f"undone right after this step; the island costs "
+                f"{step.transform_ms + nxt.transform_ms:.3f} ms of transforms",
+                {
+                    "island_layout": str(step.layout),
+                    "surrounding_layout": str(nxt.layout),
+                    "transform_ms": step.transform_ms + nxt.transform_ms,
+                },
+            )
+
+
+@rule(
+    "L003",
+    Severity.WARNING,
+    "layer sits in the ambiguous region around the (Ct, Nt) thresholds",
+    rationale="Within +/-1 of a threshold the heuristic's answer flips "
+    "under a trivial shape change; the paper's one-time profiling "
+    "fine-tune, not the raw rule, should arbitrate these layers.",
+    example="a conv with C equal to Ct, or N one below Nt",
+)
+def threshold_ambiguity(scope: PlanScope) -> Iterator[Finding]:
+    if scope.nodes is None:
+        return
+    thresholds = scope.thresholds or thresholds_for(scope.device)
+    for node in scope.nodes:
+        if node.kind is not NodeKind.CONV or not isinstance(node.spec, ConvSpec):
+            continue
+        if is_threshold_ambiguous(node.spec, thresholds, scope.margin):
+            margins = conv_threshold_margins(node.spec, thresholds)
+            yield Finding(
+                node.name,
+                f"layout choice flips within +/-{scope.margin} of a "
+                f"threshold (C-Ct={margins.c_distance:+d}, "
+                f"N-Nt={margins.n_distance:+d})",
+                {
+                    "c_distance": margins.c_distance,
+                    "n_distance": margins.n_distance,
+                    "margin": scope.margin,
+                },
+            )
+
+
+@rule(
+    "L004",
+    Severity.ERROR,
+    "conv step assigned a layout with no implementation family",
+    rationale="Every candidate layout needs a registered convolution "
+    "implementation (Section IV.D); an unknown layout cannot execute.",
+    example="a plan placing a conv in NHWC without the im2col-nhwc family",
+)
+def unsupported_layout(scope: PlanScope) -> Iterator[Finding]:
+    for step in scope.layout_steps:
+        if step.kind is NodeKind.CONV and str(step.layout) not in LAYOUT_IMPLEMENTATIONS:
+            yield Finding(
+                step.name,
+                f"no convolution implementation family is registered for "
+                f"layout {step.layout}",
+                {"layout": str(step.layout)},
+            )
+
+
+@rule(
+    "L005",
+    Severity.ERROR,
+    "implementation does not belong to the step's layout family",
+    rationale="Each layout has its preferred implementations (direct for "
+    "CHWN, MM/FFT for NCHW); a cross-family assignment would read the "
+    "tensor with the wrong stride pattern.",
+    example="'direct' (a CHWN kernel) scheduled on an NCHW step",
+)
+def implementation_layout_mismatch(scope: PlanScope) -> Iterator[Finding]:
+    for step in scope.layout_steps:
+        key = str(step.layout)
+        if step.kind is NodeKind.CONV:
+            allowed = LAYOUT_IMPLEMENTATIONS.get(key)
+        else:
+            # Every non-CHWN pooling layout shares the channel-major kernels.
+            allowed = POOL_LAYOUT_IMPLEMENTATIONS.get(
+                key, POOL_LAYOUT_IMPLEMENTATIONS["NCHW"]
+            )
+        if allowed is not None and step.implementation not in allowed:
+            yield Finding(
+                step.name,
+                f"implementation {step.implementation!r} is not in the "
+                f"{step.layout} family {sorted(allowed)}",
+                {"implementation": step.implementation, "layout": key},
+            )
+
+
+@rule(
+    "L006",
+    Severity.ERROR,
+    "plan does not cover the network's layer chain",
+    rationale="A plan is only valid for the exact layer sequence it was "
+    "derived from; missing, extra, or reordered steps mean transforms "
+    "would be inserted at the wrong boundaries.",
+    example="linting a VGG plan against an AlexNet definition",
+)
+def plan_chain_mismatch(scope: PlanScope) -> Iterator[Finding]:
+    if scope.nodes is None:
+        return
+    node_names = [n.name for n in scope.nodes]
+    step_names = [s.name for s in scope.plan.steps]
+    if node_names == step_names:
+        return
+    missing = [n for n in node_names if n not in step_names]
+    extra = [s for s in step_names if s not in node_names]
+    if missing or extra:
+        detail = {"missing": missing, "extra": extra}
+        parts = []
+        if missing:
+            parts.append(f"missing steps {missing}")
+        if extra:
+            parts.append(f"unknown steps {extra}")
+        yield Finding(scope.plan.strategy, "; ".join(parts), detail)
+    else:
+        yield Finding(
+            scope.plan.strategy,
+            "plan steps are reordered relative to the layer chain",
+            {"nodes": node_names, "steps": step_names},
+        )
+
+
+@rule(
+    "L007",
+    Severity.INFO,
+    "pooling layer left in a channel-major layout",
+    rationale="Pooling always prefers CHWN (Section IV.B); staying "
+    "channel-major is legitimate only when the boundary transforms cost "
+    "more than the kernel saves.",
+    example="an NCHW pool inside a long NCHW conv run",
+)
+def pool_channel_major(scope: PlanScope) -> Iterator[Finding]:
+    for step in scope.layout_steps:
+        if step.kind is NodeKind.POOL and step.layout != CHWN:
+            yield Finding(
+                step.name,
+                f"pool runs in {step.layout}; CHWN is always preferred for "
+                "pooling when the boundary transforms pay for themselves",
+                {"layout": str(step.layout)},
+            )

@@ -1,5 +1,5 @@
 """Command-line interface:
-``repro {info,calibrate,plan,bench,inspect,footprint,transform}``.
+``repro {info,calibrate,plan,bench,inspect,footprint,lint,transform}``.
 
 Examples::
 
@@ -10,6 +10,7 @@ Examples::
     repro bench --layers conv
     repro inspect --layer CV7 --verbose
     repro footprint --network vgg --training
+    repro lint --network alexnet --format json
     repro transform --n 64 --c 96 --hw 55
 """
 
@@ -256,6 +257,71 @@ def _cmd_footprint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_rule_ids(values: list[str] | None) -> frozenset[str]:
+    ids: set[str] = set()
+    for value in values or []:
+        ids.update(part.strip().upper() for part in value.split(",") if part.strip())
+    return frozenset(ids)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import LintConfig, UnknownRuleError, iter_rules, lint_network
+    from .analysis.lint import lint_netdef_text
+
+    if args.list_rules:
+        for r in iter_rules():
+            print(f"{r.id}  {r.severity.value:7s}  {r.summary}")
+        return 0
+
+    try:
+        config = LintConfig(
+            disabled=_parse_rule_ids(args.disable),
+            selected=_parse_rule_ids(args.select) or None,
+        )
+    except UnknownRuleError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    device = get_device(args.device)
+    reports = []
+    if args.netdef:
+        try:
+            with open(args.netdef, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"lint: cannot read {args.netdef}: {exc}", file=sys.stderr)
+            return 2
+        diagnostics = lint_netdef_text(text, config)
+        from .analysis import LintReport
+
+        report = LintReport(target=args.netdef, device=device.name, strategy="netdef")
+        report.diagnostics = diagnostics
+        reports.append(report)
+    else:
+        names = [args.network] if args.network else sorted(NETWORK_BUILDERS)
+        for name in names:
+            netdef = build_network(name, batch=args.batch)
+            reports.append(
+                lint_network(device, netdef, strategy=args.strategy, config=config)
+            )
+
+    failed = any(r.failed(strict=args.strict) for r in reports)
+    if args.format == "json":
+        payload = {
+            "device": device.name,
+            "strict": args.strict,
+            "failed": failed,
+            "reports": [r.to_dict() for r in reports],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(report.render_text())
+    return 1 if failed else 0
+
+
 def _cmd_transform(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     desc = TensorDesc(args.n, args.c, args.hw, args.hw, CHWN)
@@ -323,6 +389,25 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=None)
     p.add_argument("--training", action="store_true")
 
+    p = sub.add_parser(
+        "lint", help="static analysis of netdefs, layout plans and kernels"
+    )
+    _add_device(p)
+    p.add_argument("--network", choices=sorted(NETWORK_BUILDERS),
+                   help="lint one bundled network (default: all)")
+    p.add_argument("--netdef", help="lint a netdef text file instead")
+    p.add_argument("--batch", type=int, default=None)
+    p.add_argument("--strategy", choices=("heuristic", "optimal"), default="heuristic")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--strict", action="store_true",
+                   help="warnings also cause a nonzero exit")
+    p.add_argument("--disable", action="append", metavar="IDS",
+                   help="comma-separated rule IDs to skip (repeatable)")
+    p.add_argument("--select", action="append", metavar="IDS",
+                   help="run only these comma-separated rule IDs (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+
     p = sub.add_parser("transform", help="compare layout-transform kernels")
     _add_device(p)
     p.add_argument("--n", type=int, default=64)
@@ -343,6 +428,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "inspect": _cmd_inspect,
         "footprint": _cmd_footprint,
+        "lint": _cmd_lint,
         "transform": _cmd_transform,
     }
     status = handlers[args.command](args)

@@ -14,7 +14,10 @@ from .fusion import FusionReport, can_fuse_softmax, fuse_softmax, fusion_report
 from .heuristic import (
     LayoutThresholds,
     PAPER_THRESHOLDS,
+    ThresholdMargins,
+    conv_threshold_margins,
     explain_conv_choice,
+    is_threshold_ambiguous,
     preferred_conv_layout,
     preferred_pool_layout,
     thresholds_for,
@@ -31,6 +34,7 @@ from .planner import (
 from .selector import (
     ConvChoice,
     LAYOUT_IMPLEMENTATIONS,
+    POOL_LAYOUT_IMPLEMENTATIONS,
     best_conv_for_layout,
     cudnn_mode_conv,
     try_conv_time,
@@ -47,19 +51,23 @@ __all__ = [
     "N_SWEEP",
     "NodeKind",
     "PAPER_THRESHOLDS",
+    "POOL_LAYOUT_IMPLEMENTATIONS",
     "PlanNode",
     "PlanStep",
     "REFERENCE_SHAPE",
     "SweepPoint",
+    "ThresholdMargins",
     "TuneResult",
     "autotune_pooling",
     "best_conv_for_layout",
     "calibrate",
     "can_fuse_softmax",
+    "conv_threshold_margins",
     "cudnn_mode_conv",
     "explain_conv_choice",
     "fuse_softmax",
     "fusion_report",
+    "is_threshold_ambiguous",
     "plan_optimal",
     "plan_single_layout",
     "plan_with_heuristic",

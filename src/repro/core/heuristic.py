@@ -64,6 +64,57 @@ def preferred_pool_layout(spec: PoolSpec) -> DataLayout:
     return CHWN
 
 
+@dataclass(frozen=True)
+class ThresholdMargins:
+    """Signed distances of a conv layer from the (Ct, Nt) decision surface.
+
+    ``c_distance = C - Ct`` and ``n_distance = N - Nt``; the static analyzer
+    uses them to flag layers whose layout decision would flip under a tiny
+    shape perturbation (the ambiguous region around the thresholds).
+    """
+
+    c_distance: int
+    n_distance: int
+
+
+def conv_threshold_margins(
+    spec: ConvSpec, thresholds: LayoutThresholds
+) -> ThresholdMargins:
+    """How far ``spec`` sits from each heuristic threshold."""
+    return ThresholdMargins(
+        c_distance=spec.ci - thresholds.ct,
+        n_distance=spec.n - thresholds.nt,
+    )
+
+
+def is_threshold_ambiguous(
+    spec: ConvSpec, thresholds: LayoutThresholds, margin: int = 1
+) -> bool:
+    """True when a +/-``margin`` shift of C or N flips the layout choice.
+
+    This is the precise meaning of "within the ambiguous region": the
+    heuristic's answer is fragile for this layer, so the one-time profiling
+    fine-tune (or a transform-cost comparison) should arbitrate rather than
+    the raw rule.  Perturbing only the dimension that currently decides the
+    layer avoids flagging layers that are far from their *active* rule.
+    """
+    base = preferred_conv_layout(spec, thresholds)
+    for delta in range(-margin, margin + 1):
+        if delta == 0:
+            continue
+        perturbed = []
+        if spec.ci + delta >= 1:
+            try:
+                perturbed.append(spec.with_channels(spec.ci + delta))
+            except ValueError:  # grouped conv: ci must stay divisible
+                pass
+        if spec.n + delta >= 1:
+            perturbed.append(spec.with_batch(spec.n + delta))
+        if any(preferred_conv_layout(p, thresholds) != base for p in perturbed):
+            return True
+    return False
+
+
 def explain_conv_choice(spec: ConvSpec, thresholds: LayoutThresholds) -> str:
     """Human-readable rationale, used by the CLI's ``plan`` command."""
     if spec.ci < thresholds.ct:

@@ -75,6 +75,14 @@ class PlanStep:
     layer_ms: float
     transform_ms: float = 0.0
     coarsening: tuple[int, int] | None = None
+    #: producer layout this step transforms away from (None when the input
+    #: already arrives in this step's layout) — makes the plan IR
+    #: self-describing for the static analyzer
+    transformed_from: DataLayout | None = None
+    #: layout the transform produces.  Matters for layout-agnostic steps
+    #: (LRN, elementwise) whose own ``layout`` is masked to None but which
+    #: can still host a boundary transform on the way to the next layer
+    transformed_to: DataLayout | None = None
 
     @property
     def total_ms(self) -> float:
@@ -100,6 +108,10 @@ class LayoutPlan:
     @property
     def transform_ms(self) -> float:
         return sum(s.transform_ms for s in self.steps)
+
+    def layout_steps(self) -> tuple[PlanStep, ...]:
+        """The layout-bearing (conv/pool) steps, in execution order."""
+        return tuple(s for s in self.steps if s.layout is not None)
 
     def summary(self) -> str:
         lines = [f"plan[{self.strategy}] on {self.device}: {self.total_ms:.3f} ms"]
@@ -233,6 +245,8 @@ def _assemble(
                 layer_ms=layer_ms,
                 transform_ms=t_ms,
                 coarsening=coarsen,
+                transformed_from=prev if t_ms > 0 else None,
+                transformed_to=layout if t_ms > 0 else None,
             )
         )
         if node.kind is not NodeKind.CLASSIFIER:

@@ -35,6 +35,16 @@ LAYOUT_IMPLEMENTATIONS: dict[str, tuple[str, ...]] = {
     str(NHWC): ("im2col-nhwc",),
 }
 
+#: Pooling implementations valid per layout, the pooling twin of
+#: :data:`LAYOUT_IMPLEMENTATIONS` (Section IV.B: a register-coarsened CHWN
+#: kernel vs the two channel-major fallbacks).  The static analyzer uses
+#: both maps to reject plans whose implementation family contradicts the
+#: assigned layout.
+POOL_LAYOUT_IMPLEMENTATIONS: dict[str, tuple[str, ...]] = {
+    str(CHWN): ("chwn", "chwn-coarsened"),
+    str(NCHW): ("nchw-linear", "nchw-rowblock"),
+}
+
 
 @dataclass(frozen=True)
 class ConvChoice:

@@ -63,11 +63,14 @@ def resolve(net: NetworkDef) -> list[ResolvedLayer]:
             if dims is None:
                 raise ValueError(f"{defn.name}: convolution after flattening")
             n, c, h, w = dims
-            spec = ConvSpec(
-                n=n, ci=c, h=h, w=w, co=defn.co,
-                fh=defn.f, fw=defn.f, stride=defn.stride, pad=defn.pad,
-                groups=defn.groups,
-            )
+            try:
+                spec = ConvSpec(
+                    n=n, ci=c, h=h, w=w, co=defn.co,
+                    fh=defn.f, fw=defn.f, stride=defn.stride, pad=defn.pad,
+                    groups=defn.groups,
+                )
+            except ValueError as exc:
+                raise ValueError(f"{defn.name}: {exc}") from exc
             out = (n, defn.co, spec.out_h, spec.out_w)
             layers.append(ResolvedLayer(defn, NodeKind.CONV, spec, dims, out))
             dims = out
@@ -75,9 +78,13 @@ def resolve(net: NetworkDef) -> list[ResolvedLayer]:
             if dims is None:
                 raise ValueError(f"{defn.name}: pooling after flattening")
             n, c, h, w = dims
-            spec = PoolSpec(
-                n=n, c=c, h=h, w=w, window=defn.window, stride=defn.stride, op=defn.op
-            )
+            try:
+                spec = PoolSpec(
+                    n=n, c=c, h=h, w=w,
+                    window=defn.window, stride=defn.stride, op=defn.op,
+                )
+            except ValueError as exc:
+                raise ValueError(f"{defn.name}: {exc}") from exc
             out = (n, c, spec.out_h, spec.out_w)
             layers.append(ResolvedLayer(defn, NodeKind.POOL, spec, dims, out))
             dims = out

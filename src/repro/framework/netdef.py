@@ -18,7 +18,12 @@ from typing import Union
 @dataclass(frozen=True)
 class ConvDef:
     """A convolution layer (output maps, square filter, stride, padding,
-    channel groups)."""
+    channel groups).
+
+    Hyperparameters are validated at construction time — a negative pad or a
+    zero-extent filter is a definition error, and surfacing it here (with the
+    layer's name) beats a shape failure deep inside an emulation kernel.
+    """
 
     name: str
     co: int
@@ -27,6 +32,23 @@ class ConvDef:
     pad: int = 0
     relu: bool = True
     groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.co <= 0 or self.f <= 0:
+            raise ValueError(
+                f"{self.name}: output maps and filter extent must be positive "
+                f"(co={self.co}, f={self.f})"
+            )
+        if self.stride <= 0:
+            raise ValueError(f"{self.name}: stride must be positive, got {self.stride}")
+        if self.pad < 0:
+            raise ValueError(f"{self.name}: pad cannot be negative, got {self.pad}")
+        if self.groups <= 0:
+            raise ValueError(f"{self.name}: groups must be positive, got {self.groups}")
+        if self.co % self.groups:
+            raise ValueError(
+                f"{self.name}: groups={self.groups} must divide co={self.co}"
+            )
 
 
 @dataclass(frozen=True)
@@ -38,6 +60,17 @@ class PoolDef:
     stride: int
     op: str = "max"
 
+    def __post_init__(self) -> None:
+        if self.window <= 0 or self.stride <= 0:
+            raise ValueError(
+                f"{self.name}: pooling window and stride must be positive "
+                f"(window={self.window}, stride={self.stride})"
+            )
+        if self.op not in ("max", "avg"):
+            raise ValueError(
+                f"{self.name}: pooling op must be 'max' or 'avg', got {self.op!r}"
+            )
+
 
 @dataclass(frozen=True)
 class LRNDef:
@@ -45,6 +78,10 @@ class LRNDef:
 
     name: str
     depth: int = 5
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0:
+            raise ValueError(f"{self.name}: LRN depth must be positive, got {self.depth}")
 
 
 @dataclass(frozen=True)
@@ -54,6 +91,12 @@ class FCDef:
     name: str
     out_features: int
     relu: bool = True
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ValueError(
+                f"{self.name}: out_features must be positive, got {self.out_features}"
+            )
 
 
 @dataclass(frozen=True)

@@ -40,7 +40,14 @@ from .session import (
     structural_key,
 )
 from .kernel import ComposedKernel, KernelModel, LaunchConfig, MemoryProfile
-from .occupancy import Occupancy, compute_occupancy, latency_hiding_factor
+from .occupancy import (
+    LaunchValidationError,
+    LaunchViolation,
+    Occupancy,
+    check_launch,
+    compute_occupancy,
+    latency_hiding_factor,
+)
 from .reporting import (
     RooflinePoint,
     comparison_table,
@@ -80,6 +87,8 @@ __all__ = [
     "KernelModel",
     "KernelStats",
     "LaunchConfig",
+    "LaunchValidationError",
+    "LaunchViolation",
     "MemoryProfile",
     "MemoryServiceTimes",
     "Occupancy",
@@ -97,6 +106,7 @@ __all__ = [
     "analyze_shared_access",
     "analyze_trace",
     "analyze_warps",
+    "check_launch",
     "comparison_table",
     "compute_occupancy",
     "conflict_degree",

@@ -106,6 +106,7 @@ class DeviceSpec:
     clock_ghz: float
     dram_gib: float
     warp_size: int = 32
+    max_threads_per_block: int = 1024
     max_threads_per_sm: int = 2048
     max_warps_per_sm: int = 64
     max_blocks_per_sm: int = 16

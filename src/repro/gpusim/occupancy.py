@@ -19,6 +19,108 @@ from .device import DeviceSpec
 from .kernel import LaunchConfig
 
 
+class LaunchValidationError(ValueError):
+    """A launch configuration cannot run on the device at all.
+
+    Raised by :func:`compute_occupancy` when :func:`check_launch` finds hard
+    violations — instead of silently computing a zero-block occupancy that
+    downstream latency models would interpret as "no bandwidth".
+    """
+
+    def __init__(self, violations: list["LaunchViolation"]) -> None:
+        self.violations = violations
+        super().__init__("; ".join(v.message for v in violations))
+
+
+@dataclass(frozen=True)
+class LaunchViolation:
+    """One device limit a launch configuration exceeds.
+
+    ``code`` is a stable machine-readable identifier consumed by the static
+    analyzer (:mod:`repro.analysis.lint`), which maps it onto K0xx rules.
+    """
+
+    code: str
+    message: str
+    actual: float
+    limit: float
+
+
+def check_launch(device: DeviceSpec, launch: LaunchConfig) -> list[LaunchViolation]:
+    """Every hard device limit ``launch`` violates (empty list = launchable).
+
+    This is the reusable limit-predicate behind both the occupancy
+    calculator (which raises) and the kernel linter (which reports): a
+    block larger than the device allows, per-block shared memory or
+    per-thread registers over the architectural maximum, and resource
+    demands so high that zero blocks fit on an SM (zero occupancy).
+    """
+    violations: list[LaunchViolation] = []
+    threads = launch.threads_per_block
+    if threads > device.max_threads_per_block:
+        violations.append(
+            LaunchViolation(
+                "threads_per_block",
+                f"block of {threads} threads exceeds the device limit of "
+                f"{device.max_threads_per_block} threads per block",
+                threads,
+                device.max_threads_per_block,
+            )
+        )
+    if threads > device.max_threads_per_sm:
+        violations.append(
+            LaunchViolation(
+                "threads_per_sm",
+                f"block of {threads} threads exceeds the SM capacity of "
+                f"{device.max_threads_per_sm} threads — zero blocks fit",
+                threads,
+                device.max_threads_per_sm,
+            )
+        )
+    if launch.regs_per_thread > device.max_regs_per_thread:
+        violations.append(
+            LaunchViolation(
+                "regs_per_thread",
+                f"{launch.regs_per_thread} registers per thread exceeds the "
+                f"architectural maximum of {device.max_regs_per_thread}",
+                launch.regs_per_thread,
+                device.max_regs_per_thread,
+            )
+        )
+    regs_per_block = launch.regs_per_thread * threads
+    if regs_per_block > device.regs_per_sm:
+        violations.append(
+            LaunchViolation(
+                "regs_per_block",
+                f"block demands {regs_per_block} registers, the SM file holds "
+                f"{device.regs_per_sm} — zero blocks fit",
+                regs_per_block,
+                device.regs_per_sm,
+            )
+        )
+    if launch.smem_per_block > device.smem_per_block_max:
+        violations.append(
+            LaunchViolation(
+                "smem_per_block",
+                f"block requests {launch.smem_per_block} B shared memory, "
+                f"device max is {device.smem_per_block_max} B",
+                launch.smem_per_block,
+                device.smem_per_block_max,
+            )
+        )
+    elif launch.smem_per_block > device.smem_per_sm:
+        violations.append(
+            LaunchViolation(
+                "smem_per_sm",
+                f"block requests {launch.smem_per_block} B shared memory, the "
+                f"SM has {device.smem_per_sm} B — zero blocks fit",
+                launch.smem_per_block,
+                device.smem_per_sm,
+            )
+        )
+    return violations
+
+
 @dataclass(frozen=True)
 class Occupancy:
     """Resolved occupancy for one kernel launch on one device."""
@@ -43,12 +145,17 @@ def compute_occupancy(device: DeviceSpec, launch: LaunchConfig) -> Occupancy:
 
     Considers the four classical limiters: threads/SM, blocks/SM, registers,
     and shared memory.  Returns the binding limiter name for diagnostics.
+    Launches that violate a hard device limit (block too large for the
+    device or for one SM, register/shared-memory demand that fits zero
+    blocks) raise :class:`LaunchValidationError` instead of reporting a
+    meaningless zero-block occupancy.
     """
     threads_per_block = prod(launch.block)
     if threads_per_block <= 0:
         raise ValueError("block must contain at least one thread")
-    if threads_per_block > 1024:
-        raise ValueError(f"block of {threads_per_block} threads exceeds 1024")
+    violations = check_launch(device, launch)
+    if violations:
+        raise LaunchValidationError(violations)
     warps_per_block = ceil(threads_per_block / device.warp_size)
 
     limits: dict[str, int] = {
@@ -59,11 +166,6 @@ def compute_occupancy(device: DeviceSpec, launch: LaunchConfig) -> Occupancy:
     if regs_per_block:
         limits["registers"] = device.regs_per_sm // regs_per_block
     if launch.smem_per_block:
-        if launch.smem_per_block > device.smem_per_block_max:
-            raise ValueError(
-                f"block requests {launch.smem_per_block} B shared memory, "
-                f"device max is {device.smem_per_block_max} B"
-            )
         limits["shared_memory"] = device.smem_per_sm // launch.smem_per_block
     limiter = min(limits, key=lambda k: limits[k])
     blocks_per_sm = limits[limiter]

@@ -1,0 +1,172 @@
+"""N0xx rules: network-definition linting and construction-time validation."""
+
+import pytest
+
+from repro.analysis import Severity, lint_netdef, lint_netdef_text
+from repro.framework.netdef import (
+    ConvDef,
+    FCDef,
+    LRNDef,
+    NetworkDef,
+    PoolDef,
+    SoftmaxDef,
+)
+
+
+def make_net(*layers, batch=64, c=3, hw=32, name="testnet"):
+    return NetworkDef(
+        name=name, batch=batch, in_channels=c, in_h=hw, in_w=hw, layers=tuple(layers)
+    )
+
+
+def ids_of(diagnostics):
+    return {d.rule_id for d in diagnostics}
+
+
+CLEAN = make_net(
+    ConvDef("conv1", co=32, f=5, stride=1, pad=2),
+    PoolDef("pool1", window=3, stride=2),
+    ConvDef("conv2", co=64, f=5, stride=1, pad=2),
+    FCDef("fc1", out_features=10),
+    SoftmaxDef("softmax"),
+)
+
+
+class TestCleanNetwork:
+    def test_no_diagnostics(self):
+        assert lint_netdef(CLEAN) == []
+
+    def test_diagnostics_carry_network_name(self):
+        net = make_net(ConvDef("conv1", co=8, f=3))
+        diags = lint_netdef(net)  # N009: no classifier head
+        assert all(d.network == "testnet" for d in diags)
+
+
+class TestShapeRules:
+    def test_n001_conv_window_too_large(self):
+        net = make_net(
+            ConvDef("conv1", co=8, f=7), hw=5  # 7x7 filter on 5x5 input
+        )
+        diags = lint_netdef(net)
+        (d,) = [d for d in diags if d.rule_id == "N001"]
+        assert d.severity is Severity.ERROR
+        assert d.subject == "conv1"
+
+    def test_n001_walks_past_the_failure(self):
+        """The tolerant walker reports problems in later layers too."""
+        net = make_net(
+            ConvDef("conv1", co=8, f=7),  # N001 on a 5x5 input
+            ConvDef("conv2", co=8, f=9),  # also too large for the clamped dims
+            hw=5,
+        )
+        subjects = [d.subject for d in lint_netdef(net) if d.rule_id == "N001"]
+        assert subjects == ["conv1", "conv2"]
+
+    def test_n002_pool_window_too_large(self):
+        net = make_net(PoolDef("pool1", window=40, stride=2), hw=32)
+        assert "N002" in ids_of(lint_netdef(net))
+
+    def test_n003_layer_after_softmax(self):
+        net = make_net(
+            FCDef("fc1", out_features=10),
+            SoftmaxDef("softmax"),
+            ConvDef("dead", co=8, f=3),
+        )
+        (d,) = [d for d in lint_netdef(net) if d.rule_id == "N003"]
+        assert d.subject == "dead"
+        assert d.severity is Severity.ERROR
+
+    def test_n004_conv_after_flatten(self):
+        net = make_net(
+            FCDef("fc1", out_features=100),
+            ConvDef("conv1", co=8, f=3),
+            PoolDef("pool1", window=2, stride=2),
+        )
+        subjects = [d.subject for d in lint_netdef(net) if d.rule_id == "N004"]
+        assert subjects == ["conv1", "pool1"]
+
+    def test_n005_groups_do_not_divide_channels(self):
+        # groups=2 divides co=8 (construction passes) but not C=3 input.
+        net = make_net(ConvDef("conv1", co=8, f=3, groups=2), c=3)
+        assert "N005" in ids_of(lint_netdef(net))
+
+    def test_n006_softmax_without_fc(self):
+        net = make_net(ConvDef("conv1", co=8, f=3), SoftmaxDef("softmax"))
+        assert "N006" in ids_of(lint_netdef(net))
+
+    def test_n007_pool_stride_skips_input(self):
+        net = make_net(PoolDef("pool1", window=2, stride=3))
+        (d,) = [d for d in lint_netdef(net) if d.rule_id == "N007"]
+        assert d.severity is Severity.WARNING
+
+    def test_n008_excessive_padding(self):
+        net = make_net(ConvDef("conv1", co=8, f=3, pad=3))
+        assert "N008" in ids_of(lint_netdef(net))
+
+    def test_n009_missing_classifier_head(self):
+        net = make_net(ConvDef("conv1", co=8, f=3))
+        (d,) = [d for d in lint_netdef(net) if d.rule_id == "N009"]
+        assert d.severity is Severity.INFO
+
+
+class TestTextEntry:
+    def test_n000_on_parse_error(self):
+        diags = lint_netdef_text("network bad 128\n")
+        (d,) = diags
+        assert d.rule_id == "N000"
+        assert d.severity is Severity.ERROR
+
+    def test_n000_on_construction_error(self):
+        text = (
+            "network bad batch=64 input=3x32x32\n"
+            "conv conv1 co=8 f=3 stride=0\n"
+        )
+        (d,) = lint_netdef_text(text)
+        assert d.rule_id == "N000"
+        assert "stride" in d.message
+
+    def test_clean_text_round_trip(self):
+        text = (
+            "network ok batch=64 input=3x32x32\n"
+            "conv conv1 co=32 f=5 pad=2\n"
+            "pool pool1 window=3 stride=2\n"
+            "fc fc1 out=10\n"
+            "softmax softmax\n"
+        )
+        assert lint_netdef_text(text) == []
+
+
+class TestConstructionValidation:
+    """Satellite: bad hyperparameters fail at definition time, by name."""
+
+    def test_conv_rejects_zero_filter(self):
+        with pytest.raises(ValueError, match="conv1"):
+            ConvDef("conv1", co=8, f=0)
+
+    def test_conv_rejects_zero_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            ConvDef("conv1", co=8, f=3, stride=0)
+
+    def test_conv_rejects_negative_pad(self):
+        with pytest.raises(ValueError, match="pad"):
+            ConvDef("conv1", co=8, f=3, pad=-1)
+
+    def test_conv_rejects_groups_not_dividing_co(self):
+        with pytest.raises(ValueError, match="groups"):
+            ConvDef("conv1", co=9, f=3, groups=2)
+
+    def test_pool_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="pool1"):
+            PoolDef("pool1", window=0, stride=2)
+
+    def test_pool_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="op"):
+            PoolDef("pool1", window=2, stride=2, op="median")
+
+    def test_lrn_rejects_zero_depth(self):
+        with pytest.raises(ValueError, match="depth"):
+            LRNDef("lrn1", depth=0)
+
+    def test_fc_rejects_zero_features(self):
+        with pytest.raises(ValueError, match="out_features"):
+            FCDef("fc1", out_features=0)

@@ -1,0 +1,244 @@
+"""L0xx rules: layout-plan linting, on planner output and hand-broken plans."""
+
+from repro.analysis import Severity, lint_plan
+from repro.core import plan_optimal, plan_with_heuristic
+from repro.core.planner import LayoutPlan, NodeKind, PlanNode, PlanStep
+from repro.framework import Net
+from repro.gpusim import TITAN_BLACK
+from repro.layers import ConvSpec
+from repro.networks import build_network
+from repro.tensors import CHWN, NCHW
+
+
+def step(name, kind, layout, impl, transform_ms=0.0, transformed_from=None):
+    return PlanStep(
+        name=name,
+        kind=kind,
+        layout=layout,
+        implementation=impl,
+        layer_ms=1.0,
+        transform_ms=transform_ms,
+        transformed_from=transformed_from,
+    )
+
+
+def plan_of(*steps):
+    return LayoutPlan(steps=tuple(steps), device=TITAN_BLACK.name, strategy="test")
+
+
+def ids_of(diagnostics):
+    return {d.rule_id for d in diagnostics}
+
+
+class TestPlannerPlansAreClean:
+    def test_bundled_networks_have_no_errors(self, device):
+        for name in ("lenet", "alexnet", "vgg", "zfnet"):
+            net = Net(build_network(name))
+            nodes = net.planner_nodes(device)
+            plan = plan_with_heuristic(device, nodes)
+            diags = lint_plan(device, plan, nodes, network=name)
+            errors = [d for d in diags if d.severity is Severity.ERROR]
+            assert errors == [], f"{name}: {[d.format() for d in errors]}"
+
+    def test_optimal_plans_have_no_errors(self, device):
+        # The optimal DP bills boundary transforms on layout-agnostic LRN
+        # steps (transformed_to records the target); the chain walker must
+        # follow them instead of flagging a phantom mismatch.
+        for name in ("alexnet", "zfnet"):
+            net = Net(build_network(name))
+            nodes = net.planner_nodes(device)
+            plan = plan_optimal(device, nodes)
+            diags = lint_plan(device, plan, nodes, network=name)
+            errors = [d for d in diags if d.severity is Severity.ERROR]
+            assert errors == [], f"{name}: {[d.format() for d in errors]}"
+
+
+class TestLayoutMismatch:
+    def test_l001_missing_transform(self):
+        plan = plan_of(
+            step("conv1", NodeKind.CONV, CHWN, "direct"),
+            step("conv2", NodeKind.CONV, NCHW, "im2col"),  # no transform recorded
+        )
+        (d,) = [d for d in lint_plan(TITAN_BLACK, plan) if d.rule_id == "L001"]
+        assert d.severity is Severity.ERROR
+        assert d.subject == "conv2"
+        assert d.detail["producer"] == "CHWN"
+
+    def test_l001_wrong_transform_source(self):
+        plan = plan_of(
+            step("conv1", NodeKind.CONV, CHWN, "direct"),
+            step(
+                "conv2", NodeKind.CONV, NCHW, "im2col",
+                transform_ms=0.1, transformed_from=NCHW,  # claims NCHW input
+            ),
+        )
+        (d,) = [d for d in lint_plan(TITAN_BLACK, plan) if d.rule_id == "L001"]
+        assert "does not match" in d.message
+
+    def test_explicit_transform_is_clean(self):
+        plan = plan_of(
+            step("conv1", NodeKind.CONV, CHWN, "direct"),
+            step(
+                "conv2", NodeKind.CONV, NCHW, "im2col",
+                transform_ms=0.1, transformed_from=CHWN,
+            ),
+        )
+        assert "L001" not in ids_of(lint_plan(TITAN_BLACK, plan))
+
+    def test_transform_hosted_on_layout_agnostic_step(self):
+        # conv(NCHW) -> norm hosting the NCHW->CHWN transform -> pool(CHWN):
+        # the norm's own layout is None but transformed_to carries the target.
+        plan = plan_of(
+            step("conv1", NodeKind.CONV, NCHW, "im2col"),
+            PlanStep(
+                name="norm1",
+                kind=NodeKind.ELEMENTWISE,
+                layout=None,
+                implementation="elementwise",
+                layer_ms=0.1,
+                transform_ms=0.5,
+                transformed_from=NCHW,
+                transformed_to=CHWN,
+            ),
+            step("pool1", NodeKind.POOL, CHWN, "chwn"),
+        )
+        assert "L001" not in ids_of(lint_plan(TITAN_BLACK, plan))
+
+    def test_layout_agnostic_step_without_transform_still_flags(self):
+        plan = plan_of(
+            step("conv1", NodeKind.CONV, NCHW, "im2col"),
+            PlanStep(
+                name="norm1",
+                kind=NodeKind.ELEMENTWISE,
+                layout=None,
+                implementation="elementwise",
+                layer_ms=0.1,
+            ),
+            step("pool1", NodeKind.POOL, CHWN, "chwn"),
+        )
+        (d,) = [d for d in lint_plan(TITAN_BLACK, plan) if d.rule_id == "L001"]
+        assert d.subject == "pool1"
+
+
+class TestRedundantTransforms:
+    def test_l002_single_layer_island(self):
+        plan = plan_of(
+            step("conv1", NodeKind.CONV, NCHW, "im2col"),
+            step(
+                "pool1", NodeKind.POOL, CHWN, "chwn",
+                transform_ms=0.2, transformed_from=NCHW,
+            ),
+            step(
+                "conv2", NodeKind.CONV, NCHW, "im2col",
+                transform_ms=0.2, transformed_from=CHWN,
+            ),
+        )
+        (d,) = [d for d in lint_plan(TITAN_BLACK, plan) if d.rule_id == "L002"]
+        assert d.severity is Severity.WARNING
+        assert d.subject == "pool1"
+        assert d.detail["island_layout"] == "CHWN"
+
+    def test_no_l002_for_persistent_switch(self):
+        plan = plan_of(
+            step("conv1", NodeKind.CONV, NCHW, "im2col"),
+            step(
+                "conv2", NodeKind.CONV, CHWN, "direct",
+                transform_ms=0.2, transformed_from=NCHW,
+            ),
+            step("conv3", NodeKind.CONV, CHWN, "direct"),
+        )
+        assert "L002" not in ids_of(lint_plan(TITAN_BLACK, plan))
+
+
+class TestThresholdAmbiguity:
+    def test_l003_fires_at_nt_boundary(self, device):
+        # C=64 >= Ct=32, N=128 == Nt: N-1 flips the layout choice to NCHW.
+        spec = ConvSpec(n=128, ci=64, h=14, w=14, co=64, fh=3, fw=3, pad=1)
+        node = PlanNode("convA", NodeKind.CONV, spec=spec)
+        plan = plan_of(step("convA", NodeKind.CONV, CHWN, "direct"))
+        diags = [
+            d
+            for d in lint_plan(device, plan, nodes=[node])
+            if d.rule_id == "L003"
+        ]
+        (d,) = diags
+        assert d.severity is Severity.WARNING
+        assert d.detail["n_distance"] == 0
+
+    def test_l003_silent_far_from_thresholds(self, device):
+        # C=512, N=64: solidly NCHW on Titan Black; +-1 changes nothing.
+        spec = ConvSpec(n=64, ci=512, h=14, w=14, co=512, fh=3, fw=3, pad=1)
+        node = PlanNode("convB", NodeKind.CONV, spec=spec)
+        plan = plan_of(step("convB", NodeKind.CONV, NCHW, "im2col"))
+        assert "L003" not in ids_of(lint_plan(device, plan, nodes=[node]))
+
+    def test_l003_needs_nodes(self, device):
+        plan = plan_of(step("convA", NodeKind.CONV, CHWN, "direct"))
+        assert "L003" not in ids_of(lint_plan(device, plan))
+
+
+class TestImplementationFamilies:
+    def test_l005_cross_family_conv(self):
+        plan = plan_of(step("conv1", NodeKind.CONV, NCHW, "direct"))
+        (d,) = [d for d in lint_plan(TITAN_BLACK, plan) if d.rule_id == "L005"]
+        assert d.severity is Severity.ERROR
+        assert d.detail["implementation"] == "direct"
+
+    def test_l005_cross_family_pool(self):
+        plan = plan_of(step("pool1", NodeKind.POOL, NCHW, "chwn"))
+        assert "L005" in ids_of(lint_plan(TITAN_BLACK, plan))
+
+    def test_matching_families_clean(self):
+        plan = plan_of(
+            step("conv1", NodeKind.CONV, CHWN, "direct"),
+            step("pool1", NodeKind.POOL, CHWN, "chwn-coarsened"),
+        )
+        assert "L005" not in ids_of(lint_plan(TITAN_BLACK, plan))
+
+
+class TestChainCoverage:
+    NODES = [
+        PlanNode("conv1", NodeKind.CONV, spec=None),
+        PlanNode("pool1", NodeKind.POOL, spec=None),
+    ]
+
+    def test_l006_missing_step(self):
+        plan = plan_of(step("conv1", NodeKind.CONV, CHWN, "direct"))
+        (d,) = [
+            d
+            for d in lint_plan(TITAN_BLACK, plan, nodes=self.NODES)
+            if d.rule_id == "L006"
+        ]
+        assert "pool1" in d.detail["missing"]
+
+    def test_l006_reordered_steps(self):
+        plan = plan_of(
+            step("pool1", NodeKind.POOL, CHWN, "chwn"),
+            step("conv1", NodeKind.CONV, CHWN, "direct"),
+        )
+        (d,) = [
+            d
+            for d in lint_plan(TITAN_BLACK, plan, nodes=self.NODES)
+            if d.rule_id == "L006"
+        ]
+        assert "reordered" in d.message
+
+    def test_matching_chain_clean(self):
+        plan = plan_of(
+            step("conv1", NodeKind.CONV, CHWN, "direct"),
+            step("pool1", NodeKind.POOL, CHWN, "chwn"),
+        )
+        assert "L006" not in ids_of(
+            lint_plan(TITAN_BLACK, plan, nodes=self.NODES)
+        )
+
+
+class TestPoolLayoutNote:
+    def test_l007_nchw_pool_is_info(self):
+        plan = plan_of(step("pool1", NodeKind.POOL, NCHW, "nchw-linear"))
+        (d,) = [d for d in lint_plan(TITAN_BLACK, plan) if d.rule_id == "L007"]
+        assert d.severity is Severity.INFO
+
+    def test_chwn_pool_silent(self):
+        plan = plan_of(step("pool1", NodeKind.POOL, CHWN, "chwn"))
+        assert "L007" not in ids_of(lint_plan(TITAN_BLACK, plan))

@@ -5,11 +5,14 @@ import pytest
 from repro.core import (
     LayoutThresholds,
     PAPER_THRESHOLDS,
+    conv_threshold_margins,
     explain_conv_choice,
+    is_threshold_ambiguous,
     preferred_conv_layout,
     preferred_pool_layout,
     thresholds_for,
 )
+from repro.layers import ConvSpec
 from repro.gpusim import TITAN_BLACK, TITAN_X
 from repro.networks import CONV_LAYERS, POOL_LAYERS
 from repro.tensors import CHWN, NCHW
@@ -70,3 +73,50 @@ class TestExplanations:
         assert "Ct" in explain_conv_choice(CONV_LAYERS["CV1"], TB)
         assert "Nt" in explain_conv_choice(CONV_LAYERS["CV4"], TB)
         assert "NCHW" in explain_conv_choice(CONV_LAYERS["CV7"], TB)
+
+
+class TestBoundaries:
+    """Exact-threshold behaviour: the rules are `C < Ct` and `N >= Nt`."""
+
+    def base(self, n, ci):
+        return ConvSpec(n=n, ci=ci, h=14, w=14, co=64, fh=3, fw=3, pad=1)
+
+    def test_c_equal_ct_is_not_small(self):
+        # C == Ct fails `C < Ct`; with N below Nt the choice is NCHW.
+        assert preferred_conv_layout(self.base(n=64, ci=TB.ct), TB) == NCHW
+        assert preferred_conv_layout(self.base(n=64, ci=TB.ct - 1), TB) == CHWN
+
+    def test_n_equal_nt_is_large(self):
+        # N == Nt satisfies `N >= Nt`: CHWN even for wide channel counts.
+        assert preferred_conv_layout(self.base(n=TB.nt, ci=256), TB) == CHWN
+        assert preferred_conv_layout(self.base(n=TB.nt - 1, ci=256), TB) == NCHW
+
+
+class TestThresholdMargins:
+    def base(self, n, ci):
+        return ConvSpec(n=n, ci=ci, h=14, w=14, co=64, fh=3, fw=3, pad=1)
+
+    def test_margins_are_signed_distances(self):
+        m = conv_threshold_margins(self.base(n=100, ci=40), TB)
+        assert m.c_distance == 40 - TB.ct
+        assert m.n_distance == 100 - TB.nt
+
+    def test_ambiguous_exactly_at_ct(self):
+        # C == Ct with small N: C-1 flips NCHW -> CHWN.
+        assert is_threshold_ambiguous(self.base(n=64, ci=TB.ct), TB)
+
+    def test_ambiguous_one_below_nt(self):
+        # N == Nt - 1 with wide C: N+1 flips NCHW -> CHWN.
+        assert is_threshold_ambiguous(self.base(n=TB.nt - 1, ci=256), TB)
+
+    def test_not_ambiguous_when_both_rules_far(self):
+        assert not is_threshold_ambiguous(self.base(n=64, ci=512), TB)
+
+    def test_not_ambiguous_when_dominant_rule_holds(self):
+        # N sits on Nt but C=3 << Ct keeps CHWN under every perturbation.
+        assert not is_threshold_ambiguous(self.base(n=TB.nt, ci=3), TB)
+
+    def test_wider_margin_reaches_further(self):
+        spec = self.base(n=64, ci=TB.ct + 2)
+        assert not is_threshold_ambiguous(spec, TB, margin=1)
+        assert is_threshold_ambiguous(spec, TB, margin=3)

@@ -119,3 +119,51 @@ class TestLaunchConfig:
     def test_negative_dims_rejected(self):
         with pytest.raises(ValueError):
             LaunchConfig(grid=(0, 1, 1), block=(32, 1, 1))
+
+
+class TestLaunchValidation:
+    """check_launch is the reusable limit predicate; compute_occupancy
+    raises a structured error instead of reporting zero-block occupancy."""
+
+    def test_clean_launch_has_no_violations(self, device):
+        from repro.gpusim import check_launch
+
+        cfg = LaunchConfig(grid=(100, 1, 1), block=(256, 1, 1))
+        assert check_launch(device, cfg) == []
+
+    def test_oversized_block_violation(self, device):
+        from repro.gpusim import check_launch
+
+        cfg = LaunchConfig(grid=(1, 1, 1), block=(2048, 1, 1))
+        codes = {v.code for v in check_launch(device, cfg)}
+        assert "threads_per_block" in codes
+
+    def test_zero_occupancy_register_demand(self, device):
+        from repro.gpusim import check_launch
+
+        cfg = LaunchConfig(grid=(1, 1, 1), block=(1024, 1, 1), regs_per_thread=128)
+        (v,) = check_launch(device, cfg)
+        assert v.code == "regs_per_block"
+        assert v.actual == 1024 * 128
+        assert v.limit == device.regs_per_sm
+
+    def test_compute_occupancy_raises_structured_error(self, device):
+        from repro.gpusim import LaunchValidationError
+
+        cfg = LaunchConfig(grid=(1, 1, 1), block=(1024, 1, 1), regs_per_thread=128)
+        with pytest.raises(LaunchValidationError) as err:
+            compute_occupancy(device, cfg)
+        assert err.value.violations[0].code == "regs_per_block"
+        assert "zero blocks fit" in str(err.value)
+
+    def test_error_is_a_value_error(self, device):
+        from repro.gpusim import LaunchValidationError
+
+        assert issubclass(LaunchValidationError, ValueError)
+
+    def test_message_names_the_limit(self, device):
+        from repro.gpusim import LaunchValidationError
+
+        cfg = LaunchConfig(grid=(1, 1, 1), block=(32, 1, 1), smem_per_block=64 * 1024)
+        with pytest.raises(LaunchValidationError, match="shared memory"):
+            compute_occupancy(device, cfg)
