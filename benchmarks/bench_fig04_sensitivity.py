@@ -8,9 +8,10 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from figutil import FigureTable
+from figutil import FigureTable, bench_arg_parser
 
-from repro.gpusim import SimulationEngine
+from repro.gpusim import SimulationContext, default_context
+from repro.gpusim.parallel import parallel_map
 from repro.layers import DirectConvCHWN, Im2colGemmNCHW
 from repro.networks import CONV_LAYERS
 
@@ -18,28 +19,36 @@ N_VALUES = (1, 3, 16, 32, 64, 128, 256, 384, 512)
 C_VALUES = (16, 32, 64, 128, 256)
 
 
-def build_figure(device) -> tuple[FigureTable, FigureTable]:
-    engine = SimulationEngine(device, check_memory=False)
+def _gflops_pair(context: SimulationContext, spec) -> tuple[float, float]:
+    g_c = context.run(DirectConvCHWN(spec), check_memory=False).achieved_gflops
+    g_m = context.run(Im2colGemmNCHW(spec), check_memory=False).achieved_gflops
+    return g_c, g_m
+
+
+def build_figure(
+    device, jobs: int = 1, context: SimulationContext | None = None
+) -> tuple[FigureTable, FigureTable]:
+    ctx = context or default_context(device)
     base = CONV_LAYERS["CV7"]
 
     fig4a = FigureTable(
         "Fig. 4a: CONV7 GFLOPS vs batch size N",
         ["N", "convnet_gflops", "cudnn_gflops", "winner"],
     )
-    for n in N_VALUES:
-        spec = replace(base, n=n)
-        g_c = engine.run(DirectConvCHWN(spec)).achieved_gflops
-        g_m = engine.run(Im2colGemmNCHW(spec)).achieved_gflops
+    n_pairs = parallel_map(
+        _gflops_pair, [replace(base, n=n) for n in N_VALUES], ctx, jobs=jobs
+    )
+    for n, (g_c, g_m) in zip(N_VALUES, n_pairs):
         fig4a.add(n, g_c, g_m, "CHWN" if g_c > g_m else "NCHW")
 
     fig4b = FigureTable(
         "Fig. 4b: CONV7 GFLOPS vs channel count C (N=64)",
         ["C", "convnet_gflops", "cudnn_gflops", "winner"],
     )
-    for c in C_VALUES:
-        spec = replace(base, ci=c)
-        g_c = engine.run(DirectConvCHWN(spec)).achieved_gflops
-        g_m = engine.run(Im2colGemmNCHW(spec)).achieved_gflops
+    c_pairs = parallel_map(
+        _gflops_pair, [replace(base, ci=c) for c in C_VALUES], ctx, jobs=jobs
+    )
+    for c, (g_c, g_m) in zip(C_VALUES, c_pairs):
         fig4b.add(c, g_c, g_m, "CHWN" if g_c > g_m else "NCHW")
     fig4b.note("paper: crossover at C = 32 (Ct); 4a crossover N in (64, 128]")
     return fig4a, fig4b
@@ -62,5 +71,6 @@ def test_fig04(benchmark, device):
 if __name__ == "__main__":
     from repro.gpusim import TITAN_BLACK
 
-    for t in build_figure(TITAN_BLACK):
+    args = bench_arg_parser(__doc__).parse_args()
+    for t in build_figure(TITAN_BLACK, jobs=args.jobs):
         t.show()

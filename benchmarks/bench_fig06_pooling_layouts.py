@@ -7,11 +7,14 @@ for cuda-convnet; Caffe averages 52.3 GB/s and cuDNN 41.9 GB/s).
 
 from __future__ import annotations
 
-from figutil import FigureTable, geomean
+from figutil import FigureTable, bench_arg_parser, geomean
 
-from repro.gpusim import SimulationEngine
+from repro.gpusim import SimulationContext, default_context
+from repro.gpusim.parallel import parallel_map
 from repro.layers import make_pool_kernel
 from repro.networks import POOL_LAYERS
+
+_IMPLS = ("chwn", "nchw-linear", "nchw-rowblock")
 
 
 def effective_bw(spec, time_ms: float) -> float:
@@ -19,17 +22,29 @@ def effective_bw(spec, time_ms: float) -> float:
     return useful / (time_ms * 1e6)
 
 
-def build_figure(device) -> FigureTable:
-    engine = SimulationEngine(device, check_memory=False)
+def _time_cell(context: SimulationContext, task) -> float:
+    name, spec, impl = task
+    return context.run(make_pool_kernel(spec, impl), check_memory=False).time_ms
+
+
+def build_figure(device, jobs: int = 1, context: SimulationContext | None = None) -> FigureTable:
+    ctx = context or default_context(device)
     table = FigureTable(
         "Fig. 6: pooling layouts — normalized speed (convnet = 1.0) and "
         "achieved GB/s",
         ["layer", "convnet_bw", "caffe_rel", "cudnn_rel", "caffe_bw", "cudnn_bw"],
     )
+    tasks = [
+        (name, spec, impl)
+        for name, spec in POOL_LAYERS.items()
+        for impl in _IMPLS
+    ]
+    times = parallel_map(_time_cell, tasks, ctx, jobs=jobs)
+    grid = dict(zip([(t[0], t[2]) for t in tasks], times))
     for name, spec in POOL_LAYERS.items():
-        t_conv = engine.run(make_pool_kernel(spec, "chwn")).time_ms
-        t_caffe = engine.run(make_pool_kernel(spec, "nchw-linear")).time_ms
-        t_cudnn = engine.run(make_pool_kernel(spec, "nchw-rowblock")).time_ms
+        t_conv = grid[(name, "chwn")]
+        t_caffe = grid[(name, "nchw-linear")]
+        t_cudnn = grid[(name, "nchw-rowblock")]
         table.add(
             name,
             effective_bw(spec, t_conv),
@@ -58,4 +73,5 @@ def test_fig06(benchmark, device):
 if __name__ == "__main__":
     from repro.gpusim import TITAN_BLACK
 
-    build_figure(TITAN_BLACK).show()
+    args = bench_arg_parser(__doc__).parse_args()
+    build_figure(TITAN_BLACK, jobs=args.jobs).show()

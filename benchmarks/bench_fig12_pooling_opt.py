@@ -8,26 +8,37 @@ counting is reported as the traffic column.
 
 from __future__ import annotations
 
-from figutil import FigureTable
+from figutil import FigureTable, bench_arg_parser
 
-from repro.core import autotune_pooling
-from repro.gpusim import SimulationEngine
+from repro.core.autotune import autotune_pooling_many
+from repro.gpusim import SimulationContext, default_context
 from repro.layers import PoolingCHWN, PoolingCoarsenedCHWN, make_pool_kernel
 from repro.networks import POOL_LAYERS
 
 
-def build_figure(device) -> FigureTable:
-    engine = SimulationEngine(device, check_memory=False)
+def build_figure(device, jobs: int = 1, context: SimulationContext | None = None) -> FigureTable:
+    ctx = context or default_context(device)
+    engine = ctx.engine(check_memory=False)
     table = FigureTable(
         "Fig. 12: pooling — library kernels vs auto-tuned Opt "
         "(speedup normalized to cuda-convnet)",
         ["layer", "caffe", "cudnn", "opt", "factors", "dram_saved_pct", "opt_bw"],
     )
+    # The hill-climbs are per-layer independent: tune them all up front,
+    # optionally across workers.
+    tuned_by_name = dict(
+        zip(
+            POOL_LAYERS,
+            autotune_pooling_many(
+                device, list(POOL_LAYERS.values()), context=ctx, jobs=jobs
+            ),
+        )
+    )
     for name, spec in POOL_LAYERS.items():
         t_conv = engine.run(PoolingCHWN(spec)).time_ms
         t_caffe = engine.run(make_pool_kernel(spec, "nchw-linear")).time_ms
         t_cudnn = engine.run(make_pool_kernel(spec, "nchw-rowblock")).time_ms
-        tuned = autotune_pooling(device, spec)
+        tuned = tuned_by_name[name]
         if (tuned.ux, tuned.uy) == (1, 1):
             opt_kernel = PoolingCHWN(spec)
         else:
@@ -84,5 +95,6 @@ def test_fig12(benchmark, device):
 if __name__ == "__main__":
     from repro.gpusim import TITAN_BLACK
 
-    build_figure(TITAN_BLACK).show()
+    args = bench_arg_parser(__doc__).parse_args()
+    build_figure(TITAN_BLACK, jobs=args.jobs).show()
     print("\nFig. 8 toy example (loads, unique):", fig8_redundancy_example())

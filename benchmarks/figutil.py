@@ -12,7 +12,25 @@ Every ``bench_figXX_*.py`` module follows the same shape:
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass, field
+
+
+def bench_arg_parser(description: str) -> argparse.ArgumentParser:
+    """Shared CLI for ``python benchmarks/bench_*.py`` entry points.
+
+    Every driver accepts the same ``--jobs N`` flag (worker processes for
+    independent kernel evaluations; results are identical for any value —
+    see :mod:`repro.gpusim.parallel`).
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, negative = all CPUs)",
+    )
+    return parser
 
 
 def geomean(values) -> float:

@@ -11,10 +11,11 @@ any dimension, and :func:`crossovers` locates where the winner changes
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import Any
 
 from ..gpusim.device import DeviceSpec
-from ..gpusim.engine import GpuOutOfMemoryError, SimulationEngine
+from ..gpusim.engine import GpuOutOfMemoryError
+from ..gpusim.parallel import parallel_map
 from ..gpusim.session import SimulationContext, default_context
 from ..layers.base import ConvSpec, PoolSpec, SoftmaxSpec
 from ..layers.conv_kernels import ConvUnsupportedError, make_conv_kernel
@@ -71,23 +72,56 @@ def crossovers(result: SweepResult) -> list[tuple[int, str, str]]:
     return out
 
 
+@dataclass(frozen=True)
+class _Cell:
+    """One picklable grid cell: enough to rebuild and time its kernel in
+    any process (see :mod:`repro.gpusim.parallel`)."""
+
+    kind: str  # "conv" | "pool" | "softmax"
+    base: Any
+    dimension: str
+    value: int
+    implementation: str
+    check_memory: bool
+
+
+def _cell_kernel(cell: _Cell) -> Any:
+    spec = replace(cell.base, **{cell.dimension: cell.value})
+    if cell.dimension == "h" and cell.kind != "softmax":
+        spec = replace(spec, w=cell.value)
+    if cell.kind == "conv":
+        return make_conv_kernel(spec, cell.implementation)
+    if cell.kind == "pool":
+        return make_pool_kernel(spec, cell.implementation)
+    return make_softmax_kernel(spec, cell.implementation)
+
+
+def _eval_cell(context: SimulationContext, cell: _Cell) -> SweepPoint:
+    try:
+        stats = context.run(_cell_kernel(cell), check_memory=cell.check_memory)
+    except (ConvUnsupportedError, GpuOutOfMemoryError, ValueError):
+        return SweepPoint(cell.value, cell.implementation, None, None)
+    return SweepPoint(
+        cell.value, cell.implementation, stats.time_ms, stats.achieved_gflops
+    )
+
+
 def _run_grid(
-    engine: SimulationEngine,
+    context: SimulationContext,
+    kind: str,
+    base: Any,
+    check_memory: bool,
     dimension: str,
     values: tuple[int, ...],
     implementations: tuple[str, ...],
-    kernel_of: Callable[[int, str], object],
+    jobs: int | None,
 ) -> SweepResult:
-    points: list[SweepPoint] = []
-    for value in values:
-        for impl in implementations:
-            try:
-                stats = engine.run(kernel_of(value, impl))
-                points.append(
-                    SweepPoint(value, impl, stats.time_ms, stats.achieved_gflops)
-                )
-            except (ConvUnsupportedError, GpuOutOfMemoryError, ValueError):
-                points.append(SweepPoint(value, impl, None, None))
+    cells = [
+        _Cell(kind, base, dimension, value, impl, check_memory)
+        for value in values
+        for impl in implementations
+    ]
+    points = parallel_map(_eval_cell, cells, context, jobs=jobs)
     return SweepResult(
         dimension=dimension,
         values=tuple(values),
@@ -103,19 +137,15 @@ def sweep_conv(
     values: tuple[int, ...],
     implementations: tuple[str, ...] = ("direct", "im2col"),
     context: SimulationContext | None = None,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Vary one :class:`ConvSpec` field (``n``, ``ci``, ``co``, ``h``...)."""
     if not hasattr(base, dimension):
         raise ValueError(f"ConvSpec has no dimension {dimension!r}")
-    engine = (context or default_context(device)).engine(check_memory=True)
-
-    def kernel_of(value: int, impl: str):
-        spec = replace(base, **{dimension: value})
-        if dimension == "h":
-            spec = replace(spec, w=value)
-        return make_conv_kernel(spec, impl)
-
-    return _run_grid(engine, dimension, tuple(values), tuple(implementations), kernel_of)
+    ctx = context or default_context(device)
+    return _run_grid(
+        ctx, "conv", base, True, dimension, tuple(values), tuple(implementations), jobs
+    )
 
 
 def sweep_pool(
@@ -125,19 +155,15 @@ def sweep_pool(
     values: tuple[int, ...],
     implementations: tuple[str, ...] = ("chwn", "nchw-linear"),
     context: SimulationContext | None = None,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Vary one :class:`PoolSpec` field."""
     if not hasattr(base, dimension):
         raise ValueError(f"PoolSpec has no dimension {dimension!r}")
-    engine = (context or default_context(device)).engine(check_memory=False)
-
-    def kernel_of(value: int, impl: str):
-        spec = replace(base, **{dimension: value})
-        if dimension == "h":
-            spec = replace(spec, w=value)
-        return make_pool_kernel(spec, impl)
-
-    return _run_grid(engine, dimension, tuple(values), tuple(implementations), kernel_of)
+    ctx = context or default_context(device)
+    return _run_grid(
+        ctx, "pool", base, False, dimension, tuple(values), tuple(implementations), jobs
+    )
 
 
 def sweep_softmax(
@@ -147,13 +173,19 @@ def sweep_softmax(
     values: tuple[int, ...],
     implementations: tuple[str, ...] = ("cudnn", "opt"),
     context: SimulationContext | None = None,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Vary ``n`` or ``categories`` of a softmax layer."""
     if not hasattr(base, dimension):
         raise ValueError(f"SoftmaxSpec has no dimension {dimension!r}")
-    engine = (context or default_context(device)).engine(check_memory=False)
-
-    def kernel_of(value: int, impl: str):
-        return make_softmax_kernel(replace(base, **{dimension: value}), impl)
-
-    return _run_grid(engine, dimension, tuple(values), tuple(implementations), kernel_of)
+    ctx = context or default_context(device)
+    return _run_grid(
+        ctx,
+        "softmax",
+        base,
+        False,
+        dimension,
+        tuple(values),
+        tuple(implementations),
+        jobs,
+    )

@@ -62,6 +62,17 @@ def _add_device(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent kernel evaluations "
+        "(1 = serial, negative = all CPUs); results are identical for any "
+        "value",
+    )
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     for name in list_devices():
         dev = get_device(name)
@@ -77,7 +88,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     device = get_device(args.device)
-    result = calibrate(device)
+    result = calibrate(device, jobs=args.jobs)
     print(result.summary())
     print("\nN sweep (CONV7 shape):")
     for p in result.n_sweep:
@@ -182,7 +193,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     values = tuple(int(v) for v in args.values.split(","))
     impls = tuple(args.impls.split(","))
-    result = sweep_conv(device, CONV_LAYERS[name], args.dim, values, impls)
+    result = sweep_conv(device, CONV_LAYERS[name], args.dim, values, impls, jobs=args.jobs)
     header = "  ".join(f"{impl:>12s}" for impl in impls)
     print(f"{args.dim:>6s}  {header}  {'winner':>10s}")
     for v in values:
@@ -353,6 +364,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("calibrate", help="derive the (Ct, Nt) layout thresholds")
     _add_device(p)
+    _add_jobs(p)
 
     p = sub.add_parser("plan", help="plan layouts for a network")
     _add_device(p)
@@ -373,6 +385,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="sensitivity sweep over one conv dimension")
     _add_device(p)
+    _add_jobs(p)
     p.add_argument("--layer", required=True, help="CV1..CV12 base shape")
     p.add_argument("--dim", default="n", help="ConvSpec field to vary (n, ci, co, h)")
     p.add_argument("--values", default="16,32,64,128,256")

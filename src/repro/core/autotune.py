@@ -13,9 +13,11 @@ reduce occupancy — the exact trade-off the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import SimulationEngine
+from ..gpusim.parallel import parallel_map
 from ..gpusim.session import SimulationContext, default_context
 from ..layers.base import PoolSpec
 from ..layers.pooling_kernels import PoolingCHWN, PoolingCoarsenedCHWN
@@ -97,3 +99,32 @@ def autotune_pooling(
         baseline_ms=baseline,
         evaluations=tuple(trace),
     )
+
+
+def _tune_task(
+    context: SimulationContext, task: tuple[PoolSpec, int, int]
+) -> TuneResult:
+    spec, max_factor, initial = task
+    return autotune_pooling(
+        context.device, spec, max_factor=max_factor, initial=initial, context=context
+    )
+
+
+def autotune_pooling_many(
+    device: DeviceSpec,
+    specs: Sequence[PoolSpec],
+    max_factor: int = 8,
+    initial: int = 2,
+    context: SimulationContext | None = None,
+    jobs: int | None = None,
+) -> list[TuneResult]:
+    """Tune several pooling layers, optionally across worker processes.
+
+    One hill-climb is inherently sequential (each step depends on the
+    previous timing), so the parallel axis is the *layer list* — exactly the
+    shape of the Fig. 12 benchmark.  Results are identical to calling
+    :func:`autotune_pooling` per spec in order, for any ``jobs``.
+    """
+    ctx = context or default_context(device)
+    tasks = [(spec, max_factor, initial) for spec in specs]
+    return parallel_map(_tune_task, tasks, ctx, jobs=jobs)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..gpusim.device import DeviceSpec
-from ..gpusim.engine import SimulationEngine
+from ..gpusim.parallel import parallel_map
 from ..gpusim.session import SimulationContext, default_context
 from ..layers.base import ConvSpec
 from ..layers.conv_kernels import make_conv_kernel
@@ -58,9 +58,9 @@ class CalibrationResult:
         return "\n".join(lines)
 
 
-def _time_both(engine: SimulationEngine, spec: ConvSpec) -> tuple[float, float]:
-    chwn = engine.run(make_conv_kernel(spec, "direct")).time_ms
-    nchw = engine.run(make_conv_kernel(spec, "im2col")).time_ms
+def _time_both(context: SimulationContext, spec: ConvSpec) -> tuple[float, float]:
+    chwn = context.run(make_conv_kernel(spec, "direct"), check_memory=False).time_ms
+    nchw = context.run(make_conv_kernel(spec, "im2col"), check_memory=False).time_ms
     return chwn, nchw
 
 
@@ -70,6 +70,7 @@ def calibrate(
     n_values: tuple[int, ...] = N_SWEEP,
     c_values: tuple[int, ...] = C_SWEEP,
     context: SimulationContext | None = None,
+    jobs: int | None = None,
 ) -> CalibrationResult:
     """Recover (Ct, Nt) for a device from the Fig. 4 style sweeps.
 
@@ -77,23 +78,36 @@ def calibrate(
       path wins; above it, batch-register reuse carries CHWN regardless of C.
     * **Ct** — smallest swept C where the NCHW path wins, measured at a
       batch *below* Nt so the N-rule does not mask the C crossover.
+
+    The two sweeps are sequential (the C sweep's batch size depends on the
+    N sweep's crossover) but the points *within* each sweep are independent
+    and fan out over ``jobs`` workers.
     """
-    engine = (context or default_context(device)).engine(check_memory=False)
+    ctx = context or default_context(device)
     profiling_ms = 0.0
 
-    n_points: list[SweepPoint] = []
-    for n in sorted(n_values):
-        chwn, nchw = _time_both(engine, replace(reference, n=n))
-        profiling_ms += chwn + nchw
-        n_points.append(SweepPoint(n, chwn, nchw))
+    n_sorted = sorted(n_values)
+    n_times = parallel_map(
+        _time_both, [replace(reference, n=n) for n in n_sorted], ctx, jobs=jobs
+    )
+    n_points = [
+        SweepPoint(n, chwn, nchw) for n, (chwn, nchw) in zip(n_sorted, n_times)
+    ]
+    profiling_ms += sum(chwn + nchw for chwn, nchw in n_times)
     nt = next((p.value for p in n_points if p.chwn_wins), max(n_values))
 
     c_batch = max((n for n in n_values if n < nt), default=min(n_values))
-    c_points: list[SweepPoint] = []
-    for c in sorted(c_values):
-        chwn, nchw = _time_both(engine, replace(reference, ci=c, n=c_batch))
-        profiling_ms += chwn + nchw
-        c_points.append(SweepPoint(c, chwn, nchw))
+    c_sorted = sorted(c_values)
+    c_times = parallel_map(
+        _time_both,
+        [replace(reference, ci=c, n=c_batch) for c in c_sorted],
+        ctx,
+        jobs=jobs,
+    )
+    c_points = [
+        SweepPoint(c, chwn, nchw) for c, (chwn, nchw) in zip(c_sorted, c_times)
+    ]
+    profiling_ms += sum(chwn + nchw for chwn, nchw in c_times)
     ct = next(
         (p.value for p in c_points if not p.chwn_wins), max(c_values) * 2
     )

@@ -8,7 +8,13 @@ terms.  Everything above it (layers, transforms, planners) expresses kernels
 as :class:`KernelModel` objects and asks :class:`SimulationEngine` for time.
 """
 
-from .cache import CacheStats, SetAssociativeCache, unique_line_hits
+from .cache import (
+    CacheStats,
+    SetAssociativeCache,
+    cache_sim_snapshot,
+    set_fast_path,
+    unique_line_hits,
+)
 from .coalescing import (
     CoalescingReport,
     analyze_warps,
@@ -40,6 +46,7 @@ from .session import (
     structural_key,
 )
 from .kernel import ComposedKernel, KernelModel, LaunchConfig, MemoryProfile
+from .parallel import chunk_items, parallel_map, resolve_jobs
 from .occupancy import (
     LaunchValidationError,
     LaunchViolation,
@@ -71,6 +78,7 @@ from .trace import (
     TraceResult,
     analyze_trace,
     sample_indices,
+    transaction_stream,
     transactions_for_stride,
     warps_from_threads,
 )
@@ -106,7 +114,9 @@ __all__ = [
     "analyze_shared_access",
     "analyze_trace",
     "analyze_warps",
+    "cache_sim_snapshot",
     "check_launch",
+    "chunk_items",
     "comparison_table",
     "compute_occupancy",
     "conflict_degree",
@@ -117,10 +127,13 @@ __all__ = [
     "latency_hiding_factor",
     "list_devices",
     "memory_service_time",
+    "parallel_map",
     "register_device",
+    "resolve_jobs",
     "reset_default_contexts",
     "roofline_point",
     "sample_indices",
+    "set_fast_path",
     "simulate",
     "structural_key",
     "stream_addresses",
@@ -128,6 +141,7 @@ __all__ = [
     "tile_column_access",
     "time_kernel",
     "time_model",
+    "transaction_stream",
     "transactions_for_stride",
     "unique_line_hits",
     "warp_transactions",

@@ -1,0 +1,107 @@
+"""Deterministic parallel execution of independent simulation tasks.
+
+The sweeps, the autotuner, and the calibration search all evaluate many
+independent kernel candidates; this module fans those evaluations out over
+worker processes while keeping the *results byte-identical to a serial run*:
+
+* tasks are split into at most ``jobs`` contiguous chunks and submitted in
+  order; results are reassembled by iterating the futures in submission
+  order, so the output list order never depends on scheduling;
+* each chunk runs against a fresh per-worker
+  :class:`~repro.gpusim.session.SimulationContext` (the simulation is
+  deterministic, so a worker computes exactly what the serial path would);
+* on join, every worker's structural timing cache and counters are folded
+  back into the parent context via
+  :meth:`~repro.gpusim.session.SimulationContext.absorb`, so later serial
+  work still benefits from what the workers simulated.
+
+``fn`` must be a module-level (picklable) callable of signature
+``fn(context, item) -> result`` and must not rely on shared mutable state;
+expected per-item failures should be caught inside ``fn`` and encoded in its
+result (exceptions escaping a worker abort the whole map, exactly like the
+serial loop).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from math import ceil
+from typing import Any, Callable, Sequence, TypeVar
+
+from .device import DeviceSpec
+from .session import SimStats, SimulationContext
+
+T = TypeVar("T")
+
+TaskFn = Callable[[SimulationContext, Any], Any]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None/0/1 mean serial, negative means
+    one worker per available CPU."""
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def chunk_items(items: Sequence[T], jobs: int, chunk_size: int | None = None) -> list[list[T]]:
+    """Split ``items`` into contiguous chunks, at most ``jobs`` of them by
+    default (one per worker, so each worker context serves a maximal share
+    of structurally-similar tasks)."""
+    n = len(items)
+    if n == 0:
+        return []
+    size = chunk_size if chunk_size is not None else ceil(n / max(1, jobs))
+    if size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [list(items[i : i + size]) for i in range(0, n, size)]
+
+
+def _run_chunk(
+    device: DeviceSpec,
+    check_memory: bool,
+    fn: TaskFn,
+    chunk: list[Any],
+) -> tuple[list[Any], dict[str, Any], SimStats]:
+    """Worker body: evaluate one chunk against a fresh context and ship the
+    results plus the context's cache/counters back for merging."""
+    ctx = SimulationContext(device, check_memory=check_memory)
+    results = [fn(ctx, item) for item in chunk]
+    cache, stats = ctx.export_state()
+    return results, cache, stats
+
+
+def parallel_map(
+    fn: TaskFn,
+    items: Sequence[Any],
+    context: SimulationContext,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+) -> list[Any]:
+    """Evaluate ``fn(context, item)`` for every item, in item order.
+
+    With ``jobs`` <= 1 this is exactly the serial loop on the caller's
+    context.  Otherwise chunks run in worker processes and the workers'
+    timing caches and stats are absorbed into ``context`` on join.  Both
+    paths return identical results for deterministic ``fn``.
+    """
+    jobs = resolve_jobs(jobs)
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(context, item) for item in items]
+    chunks = chunk_items(items, jobs, chunk_size)
+    out: list[Any] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+        futures: list[Future[tuple[list[Any], dict[str, Any], SimStats]]] = [
+            pool.submit(_run_chunk, context.device, context.check_memory, fn, c)
+            for c in chunks
+        ]
+        # Submission order, not completion order: deterministic reassembly.
+        for future in futures:
+            results, cache, stats = future.result()
+            context.absorb(cache, stats)
+            out.extend(results)
+    return out

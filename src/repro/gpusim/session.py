@@ -32,6 +32,7 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Any
 
+from .cache import cache_sim_snapshot
 from .device import DeviceSpec
 from .kernel import ComposedKernel, KernelModel
 from .timing import KernelStats, time_model
@@ -152,6 +153,14 @@ class SimStats:
     misses: int = 0
     loaded_from_disk: int = 0
     sim_wall_s: float = 0.0
+    #: cache-model replay calls / wall seconds inside ``sim_wall_s`` (the
+    #: cache-sim share of simulation time)
+    cache_sim_calls: int = 0
+    cache_sim_s: float = 0.0
+    #: worker sessions whose caches were folded into this one, and how many
+    #: of their entries were new here (see ``SimulationContext.absorb``)
+    merged_contexts: int = 0
+    merged_entries: int = 0
     by_kind: dict[str, KindStats] = field(default_factory=dict)
 
     @property
@@ -170,9 +179,13 @@ class SimStats:
         self.hits += 1
         self.by_kind.setdefault(kind, KindStats()).hits += 1
 
-    def record_miss(self, kind: str, wall_s: float) -> None:
+    def record_miss(
+        self, kind: str, wall_s: float, cache_calls: int = 0, cache_s: float = 0.0
+    ) -> None:
         self.misses += 1
         self.sim_wall_s += wall_s
+        self.cache_sim_calls += cache_calls
+        self.cache_sim_s += cache_s
         self.by_kind.setdefault(kind, KindStats()).misses += 1
 
     def merge(self, other: "SimStats") -> None:
@@ -181,6 +194,10 @@ class SimStats:
         self.misses += other.misses
         self.loaded_from_disk += other.loaded_from_disk
         self.sim_wall_s += other.sim_wall_s
+        self.cache_sim_calls += other.cache_sim_calls
+        self.cache_sim_s += other.cache_sim_s
+        self.merged_contexts += other.merged_contexts
+        self.merged_entries += other.merged_entries
         for kind, ks in other.by_kind.items():
             mine = self.by_kind.setdefault(kind, KindStats())
             mine.hits += ks.hits
@@ -191,6 +208,10 @@ class SimStats:
         self.misses = 0
         self.loaded_from_disk = 0
         self.sim_wall_s = 0.0
+        self.cache_sim_calls = 0
+        self.cache_sim_s = 0.0
+        self.merged_contexts = 0
+        self.merged_entries = 0
         self.by_kind.clear()
 
     def summary(self) -> str:
@@ -202,6 +223,17 @@ class SimStats:
             f"  kernels timed  : {self.kernels_timed}",
             f"  sim wall time  : {self.sim_wall_s * 1e3:.1f} ms",
         ]
+        if self.cache_sim_calls:
+            share = self.cache_sim_s / self.sim_wall_s if self.sim_wall_s else 0.0
+            lines.append(
+                f"  cache replays  : {self.cache_sim_calls} "
+                f"({self.cache_sim_s * 1e3:.1f} ms, {share:.0%} of sim time)"
+            )
+        if self.merged_contexts:
+            lines.append(
+                f"  merged workers : {self.merged_contexts} contexts, "
+                f"{self.merged_entries} new entries"
+            )
         if self.loaded_from_disk:
             lines.append(f"  disk entries   : {self.loaded_from_disk} loaded")
         for kind in sorted(self.by_kind):
@@ -283,8 +315,15 @@ class SimulationContext:
             self.stats.record_hit(_kind_of(model))
             return hit
         start = time.perf_counter()
+        calls0, cache_s0 = cache_sim_snapshot()
         stats = time_model(self.device, model)
-        self.stats.record_miss(_kind_of(model), time.perf_counter() - start)
+        calls1, cache_s1 = cache_sim_snapshot()
+        self.stats.record_miss(
+            _kind_of(model),
+            time.perf_counter() - start,
+            cache_calls=calls1 - calls0,
+            cache_s=cache_s1 - cache_s0,
+        )
         self._cache[key] = stats
         return stats
 
@@ -348,6 +387,35 @@ class SimulationContext:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+
+    def export_state(self) -> tuple[dict[str, KernelStats], SimStats]:
+        """(timing-cache entries, counters) — what a worker ships back.
+
+        Both halves are plain picklable dataclass containers, so a parallel
+        executor can return them across a process boundary and fold them
+        into the parent with :meth:`absorb`.
+        """
+        return dict(self._cache), self.stats
+
+    def absorb(
+        self, cache: dict[str, KernelStats], stats: SimStats | None = None
+    ) -> int:
+        """Fold a worker session's cache (and counters) into this one.
+
+        Entries already present locally win — both sides computed them from
+        the same structural key, so the values are identical and keeping the
+        local one is merely cheaper.  Returns the number of new entries.
+        """
+        new = 0
+        for key, value in cache.items():
+            if key not in self._cache:
+                self._cache[key] = value
+                new += 1
+        if stats is not None:
+            self.stats.merge(stats)
+        self.stats.merged_contexts += 1
+        self.stats.merged_entries += new
+        return new
 
     def save_cache(self, path: str | Path | None = None) -> Path:
         """Persist the timing cache as JSON for cross-process reuse."""

@@ -35,6 +35,9 @@ class KernelStats:
     bound: str
     alu_utilization: float
     n_launches: int = 1
+    #: measured cache-model L2 hit rate for traced kernels (diagnostic;
+    #: timing uses the profile's modelled hit rate)
+    traced_l2_hit_rate: float | None = None
 
     @property
     def achieved_gflops(self) -> float:
@@ -111,6 +114,7 @@ def time_kernel(
         bound=bound,
         alu_utilization=alu_util,
         n_launches=n_launches,
+        traced_l2_hit_rate=profile.traced_l2_hit_rate,
     )
 
 

@@ -47,6 +47,42 @@ def warps_from_threads(
     raise ValueError(f"expected 1-D or 2-D addresses, got shape {addr.shape}")
 
 
+def transaction_stream(
+    warp_addresses: np.ndarray,
+    segment_bytes: int,
+    max_transactions: int | None = None,
+) -> np.ndarray:
+    """Post-coalescing transaction addresses for a ``(warps, lanes)`` trace.
+
+    The single sanctioned bridge between warp arrays and the L2 model:
+    inactive lanes (``-1`` padding from :func:`warps_from_threads`) are
+    stripped here, so callers can feed padded traces straight through
+    without tripping the cache's negative-address check.  Each warp
+    contributes its distinct ``segment_bytes``-sized segments (ascending,
+    as one coalesced burst), in warp order — the order the memory system
+    sees them.  When ``max_transactions`` is set, whole warps are kept up
+    to and including the warp whose transactions first reach the cap.
+    """
+    if segment_bytes <= 0:
+        raise ValueError("segment_bytes must be positive")
+    addr = np.asarray(warp_addresses, dtype=np.int64)
+    if addr.ndim == 1:
+        addr = addr[None, :]
+    elif addr.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D addresses, got shape {addr.shape}")
+    if not addr.size:
+        return np.empty(0, dtype=np.int64)
+    segments = np.sort(np.where(addr >= 0, addr // segment_bytes, np.int64(-1)), axis=1)
+    keep = segments >= 0
+    keep[:, 1:] &= segments[:, 1:] != segments[:, :-1]
+    if max_transactions is not None:
+        cum = np.cumsum(keep.sum(axis=1))
+        cut = int(np.searchsorted(cum, max_transactions))
+        if cut + 1 < keep.shape[0]:
+            keep[cut + 1 :] = False
+    return segments[keep] * segment_bytes
+
+
 @dataclass(frozen=True)
 class TraceResult:
     """Coalescing + locality summary of a sampled address trace."""
@@ -79,21 +115,9 @@ def analyze_trace(
     report = analyze_warps(warp_addresses, device, access_bytes)
     hit_rate = 0.0
     if use_l2 and report.transactions:
-        seg = device.transaction_bytes
-        addr = np.asarray(warp_addresses, dtype=np.int64)
-        active = addr >= 0
-        # Rebuild the transaction stream: unique segments per warp, in warp
-        # order (the order the memory system sees them).
-        segments = np.where(active, addr // seg, np.int64(-1))
-        stream: list[np.ndarray] = []
-        total = 0
-        for w in range(segments.shape[0]):
-            row = np.unique(segments[w][segments[w] >= 0])
-            stream.append(row * seg)
-            total += row.size
-            if total >= max_l2_transactions:
-                break
-        flat = np.concatenate(stream) if stream else np.empty(0, dtype=np.int64)
+        flat = transaction_stream(
+            warp_addresses, device.transaction_bytes, max_l2_transactions
+        )
         if flat.size:
             l2 = SetAssociativeCache.l2_for(device)
             hits = l2.access_stream(flat)

@@ -27,10 +27,11 @@ from math import ceil
 
 import numpy as np
 
+from ..gpusim.cache import SetAssociativeCache
 from ..gpusim.coalescing import analyze_warps
 from ..gpusim.device import DeviceSpec
 from ..gpusim.kernel import KernelModel, LaunchConfig, MemoryProfile
-from ..gpusim.trace import sample_indices
+from ..gpusim.trace import sample_indices, transaction_stream
 from .base import PoolSpec
 from .pooling import tile_footprint
 
@@ -153,6 +154,7 @@ class _TracedNCHWPooling(_PoolingKernelBase):
     """Shared traced-load machinery for the NCHW kernels."""
 
     max_sample_warps = 512
+    max_l2_transactions = 200_000
     writes_mask = False
 
     def _thread_coords(self, thread_ids: np.ndarray) -> tuple[np.ndarray, ...]:
@@ -167,8 +169,12 @@ class _TracedNCHWPooling(_PoolingKernelBase):
         n = rest // s.c
         return n, c, ho, wo
 
-    def _traced_loads(self, device: DeviceSpec) -> tuple[float, float]:
-        """(load_transactions, sampled_overfetch) extrapolated to the grid."""
+    def _stacked_loads(self, device: DeviceSpec) -> tuple[np.ndarray, int, int]:
+        """(sampled warp-load trace, grid warps, sampled warps).
+
+        The trace has one warp instruction per window tap — shape
+        ``(sampled_warps * taps, lanes)`` — with inactive lanes at -1.
+        """
         s = self.spec
         total_threads = s.out_elements
         warp = device.warp_size
@@ -190,26 +196,35 @@ class _TracedNCHWPooling(_PoolingKernelBase):
             addr = (((n * s.c + c) * s.h + hi) * s.w + wi) * _ITEM
             rows.append(np.where(valid, addr, np.int64(-1)))
         # One warp instruction per tap: (warps * taps, lanes).
-        stacked = np.concatenate(rows, axis=0)
-        report = analyze_warps(stacked, device, access_bytes=_ITEM)
-        scale = n_warps / len(sampled)
-        return report.transactions * scale, report.overfetch
+        return np.concatenate(rows, axis=0), n_warps, len(sampled)
 
     def _build_profile(self, device: DeviceSpec) -> MemoryProfile:
         s = self.spec
-        load_trans, _ = self._traced_loads(device)
+        stacked, n_warps, n_sampled = self._stacked_loads(device)
+        report = analyze_warps(stacked, device, access_bytes=_ITEM)
+        load_trans = report.transactions * (n_warps / n_sampled)
         loads = float(s.out_elements * s.window * s.window * _ITEM)
         store_factor = 2.0 if self.writes_mask else 1.0
         stores = float(s.out_desc().nbytes) * store_factor
         # Strided multi-map streams thrash L2 across warp instructions (the
         # concurrent working set spans N*C feature maps), so fetched
-        # transactions are charged to DRAM.
+        # transactions are charged to DRAM in the timing model.  The cache
+        # replay below *measures* that thrash on the sampled stream and is
+        # reported as a diagnostic.
+        stream = transaction_stream(
+            stacked, device.transaction_bytes, self.max_l2_transactions
+        )
+        traced_hit = 0.0
+        if stream.size:
+            l2 = SetAssociativeCache.l2_for(device)
+            traced_hit = float(l2.access_stream(stream).mean())
         return MemoryProfile(
             load_bytes=loads,
             store_bytes=stores,
             load_transactions=load_trans,
             store_transactions=stores / 32.0,
             l2_hit_rate=0.0,
+            traced_l2_hit_rate=traced_hit,
         )
 
 
@@ -257,7 +272,7 @@ class PoolingNCHWBlockPerRow(_TracedNCHWPooling):
             active_lane_fraction=self._plane() / padded,
         )
 
-    def _traced_loads(self, device: DeviceSpec) -> tuple[float, float]:
+    def _stacked_loads(self, device: DeviceSpec) -> tuple[np.ndarray, int, int]:
         # Thread t covers map t // padded_plane, output t % padded_plane
         # (lanes beyond the plane are predicated off).
         s = self.spec
@@ -281,10 +296,7 @@ class PoolingNCHWBlockPerRow(_TracedNCHWPooling):
                 wi = np.minimum(wo * s.stride + fx, s.w - 1)
                 addr = ((map_idx * s.h + hi) * s.w + wi) * _ITEM
                 rows.append(np.where(active, addr, np.int64(-1)))
-        stacked = np.concatenate(rows, axis=0)
-        report = analyze_warps(stacked, device, access_bytes=_ITEM)
-        scale = n_warps / len(sampled)
-        return report.transactions * scale, report.overfetch
+        return np.concatenate(rows, axis=0), n_warps, len(sampled)
 
 
 POOL_IMPLEMENTATIONS = ("chwn", "chwn-coarsened", "nchw-linear", "nchw-rowblock")

@@ -134,3 +134,31 @@ class TestFactory:
     def test_coarsen_factors_forwarded(self):
         k = make_pool_kernel(POOL_LAYERS["PL3"], "chwn-coarsened", coarsen=(3, 2))
         assert (k.ux, k.uy) == (3, 2)
+
+
+class TestTracedL2Diagnostic:
+    """The traced NCHW kernels replay their post-coalescing transaction
+    stream through the L2 model and report the hit rate as a diagnostic;
+    it does not feed the timing equations (the analytic ``l2_hit_rate``
+    does), so the figures are unchanged by it."""
+
+    @pytest.mark.parametrize("impl", ["nchw-linear", "nchw-rowblock"])
+    def test_present_and_bounded_for_traced_kernels(self, device, impl):
+        p = make_pool_kernel(POOL_LAYERS["PL3"], impl).memory_profile(device)
+        assert p.traced_l2_hit_rate is not None
+        assert 0.0 <= p.traced_l2_hit_rate <= 1.0
+
+    def test_absent_for_analytic_chwn(self, device):
+        p = PoolingCHWN(POOL_LAYERS["PL3"]).memory_profile(device)
+        assert p.traced_l2_hit_rate is None
+
+    def test_deterministic_across_instances(self, device):
+        a = PoolingNCHWLinear(POOL_LAYERS["PL5"]).memory_profile(device)
+        b = PoolingNCHWLinear(POOL_LAYERS["PL5"]).memory_profile(device)
+        assert a.traced_l2_hit_rate == b.traced_l2_hit_rate
+
+    def test_line_reuse_shows_up_on_small_maps(self, device):
+        """PL5's small maps fit the L2, so window overlap and intra-line
+        sharing must register as a substantial traced hit rate."""
+        p = PoolingNCHWLinear(POOL_LAYERS["PL5"]).memory_profile(device)
+        assert p.traced_l2_hit_rate > 0.3
