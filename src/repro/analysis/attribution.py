@@ -71,9 +71,17 @@ def _layout_only_ms(
     softmax reverts to the best library baseline.
     """
     engine = context.engine(check_memory=False)
-    plan = plan_optimal(
-        device, net.planner_nodes(device, context=context), context=context
-    )
+    if net.is_chain:
+        plan = plan_optimal(
+            device, net.planner_nodes(device, context=context), context=context
+        )
+    else:
+        from ..core.pipeline import PipelineOptions, plan_network
+
+        plan = plan_network(
+            device, net.definition, PipelineOptions(strategy="optimal"),
+            context=context,
+        ).plan
     total = 0.0
     by_name = {layer.name: layer for layer in net.layers}
     for step in plan.steps:

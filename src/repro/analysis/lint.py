@@ -29,14 +29,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.heuristic import LayoutThresholds, thresholds_for
-from ..core.planner import (
-    LayoutPlan,
-    NodeKind,
-    PlanNode,
-    plan_optimal,
-    plan_with_heuristic,
-)
+from ..core.pipeline import PipelineOptions, run_pipeline
+from ..core.planner import LayoutPlan, NodeKind, PlanNode
 from ..framework.netdef import NetworkDef, parse_netdef
+from ..ir.build import lower_netdef
+from ..ir.graph import Graph
 from ..gpusim.device import DeviceSpec
 from ..gpusim.kernel import KernelModel
 from ..gpusim.session import SimulationContext
@@ -152,12 +149,16 @@ def lint_plan(
     thresholds: LayoutThresholds | None = None,
     config: LintConfig = DEFAULT_CONFIG,
     network: str = "",
+    graph: Graph | None = None,
 ) -> list[Diagnostic]:
     """Run the L0xx rules over one layout plan.
 
     ``nodes`` (the planner's view of the layer chain) enables the rules
     that need layer geometry: chain coverage (L006) and threshold
-    ambiguity (L003).
+    ambiguity (L003).  ``graph`` — the annotated IR the pipeline planned
+    over — switches the edge-walking rules (L001/L002) from the linear
+    step walk to the graph's true producer/consumer edges, which is
+    required for branching networks.
     """
     scope = PlanScope(
         device=device,
@@ -165,6 +166,7 @@ def lint_plan(
         nodes=tuple(nodes) if nodes is not None else None,
         thresholds=thresholds,
         margin=config.margin,
+        graph=graph,
     )
     return _run_scope("plan", scope, config, network=network)
 
@@ -289,16 +291,18 @@ def lint_network(
     if any(d.severity is Severity.ERROR for d in report.diagnostics):
         return report
 
-    from ..framework.net import Net  # local import: framework -> analysis is open
-
-    net = Net(netdef, context=context)
-    nodes = net.planner_nodes(device)
-    planner = plan_with_heuristic if strategy == "heuristic" else plan_optimal
-    plan = planner(device, nodes, context=context)
+    options = PipelineOptions(
+        strategy="heuristic" if strategy == "heuristic" else "optimal"
+    )
+    result = run_pipeline(
+        device, lower_netdef(netdef), options, context=context
+    )
+    plan, graph = result.plan, result.graph
+    nodes = graph.topological()
     report.plan = plan
     thresholds = thresholds_for(device)
     report.diagnostics += lint_plan(
-        device, plan, nodes, thresholds, config, network=netdef.name
+        device, plan, nodes, thresholds, config, network=netdef.name, graph=graph
     )
 
     specs = {n.name: n.spec for n in nodes}

@@ -21,6 +21,7 @@ from ...core.planner import LayoutPlan, PlanNode, PlanStep
 from ...framework.netdef import NetworkDef
 from ...gpusim.device import DeviceSpec
 from ...gpusim.kernel import KernelModel, LaunchConfig, MemoryProfile
+from ...ir.graph import Graph, GraphNode
 
 
 class Severity(Enum):
@@ -95,14 +96,23 @@ class NetdefScope:
 @dataclass
 class PlanScope:
     """A layout plan under analysis, optionally with the planner nodes it
-    was derived from and the device's heuristic thresholds."""
+    was derived from and the device's heuristic thresholds.
+
+    ``graph`` carries the annotated network IR the pipeline planned over.
+    When present, the edge-walking rules (L001/L002) follow the graph's
+    real producer/consumer edges instead of assuming the step list is a
+    chain — the only sound reading for branching networks.  ``nodes`` may
+    hold either legacy :class:`PlanNode` records or IR
+    :class:`~repro.ir.graph.GraphNode` records (they share the fields the
+    rules inspect)."""
 
     device: DeviceSpec
     plan: LayoutPlan
-    nodes: tuple[PlanNode, ...] | None = None
+    nodes: tuple[PlanNode, ...] | tuple[GraphNode, ...] | None = None
     thresholds: LayoutThresholds | None = None
     #: +/- range around (Ct, Nt) treated as the ambiguous region (L003)
     margin: int = 1
+    graph: Graph | None = None
 
     @property
     def layout_steps(self) -> tuple[PlanStep, ...]:

@@ -33,6 +33,9 @@ from .base import Finding, PlanScope, Severity, rule
     example="a CHWN conv feeding an NCHW conv with no transform recorded",
 )
 def layout_mismatch(scope: PlanScope) -> Iterator[Finding]:
+    if scope.graph is not None:
+        yield from _graph_layout_mismatch(scope)
+        return
     # Walk the FULL chain, not just layout-bearing steps: layout-agnostic
     # steps (LRN, elementwise) can host a boundary transform whose target
     # only `transformed_to` records.
@@ -76,6 +79,9 @@ def layout_mismatch(scope: PlanScope) -> Iterator[Finding]:
     example="NCHW -> CHWN for one pool, then CHWN -> NCHW straight back",
 )
 def redundant_transform_pair(scope: PlanScope) -> Iterator[Finding]:
+    if scope.graph is not None:
+        yield from _graph_redundant_transform_pair(scope)
+        return
     steps = scope.layout_steps
     for step, nxt in zip(steps, steps[1:]):
         if (
@@ -94,6 +100,78 @@ def redundant_transform_pair(scope: PlanScope) -> Iterator[Finding]:
                     "transform_ms": step.transform_ms + nxt.transform_ms,
                 },
             )
+
+
+def _graph_layout_mismatch(scope: PlanScope) -> Iterator[Finding]:
+    """L001 over the IR: check every producer→consumer edge, not a chain."""
+    graph = scope.graph
+    assert graph is not None
+    for node in graph.topological():
+        if node.kind is NodeKind.CLASSIFIER:
+            continue  # data is flattened to 2-D here; layout is moot
+        by_src = {t.src: t for t in node.transforms}
+        for producer in graph.producers(node.name):
+            t = by_src.get(producer.name)
+            if t is not None:
+                if producer.layout is not None and t.from_layout != producer.layout:
+                    yield Finding(
+                        node.name,
+                        f"transform source {t.from_layout} does not match "
+                        f"the layout {producer.layout} of producer "
+                        f"{producer.name}",
+                        {
+                            "producer": str(producer.layout),
+                            "transform_source": str(t.from_layout),
+                            "edge": producer.name,
+                        },
+                    )
+                effective = t.to_layout
+            else:
+                effective = producer.layout
+            if (
+                node.layout is not None
+                and effective is not None
+                and effective != node.layout
+            ):
+                yield Finding(
+                    node.name,
+                    f"input from {producer.name} arrives in {effective} but "
+                    f"the node runs in {node.layout} with no transform "
+                    f"recorded",
+                    {
+                        "producer": str(effective),
+                        "consumer": str(node.layout),
+                        "edge": producer.name,
+                    },
+                )
+
+
+def _graph_redundant_transform_pair(scope: PlanScope) -> Iterator[Finding]:
+    """L002 over the IR: a transform on an incoming edge undone on an
+    outgoing edge is a layout island regardless of chain position."""
+    graph = scope.graph
+    assert graph is not None
+    for node in graph.topological():
+        for t_in in node.transforms:
+            for consumer in graph.consumers(node.name):
+                for t_out in consumer.transforms:
+                    if (
+                        t_out.src == node.name
+                        and t_out.from_layout == t_in.to_layout
+                        and t_out.to_layout == t_in.from_layout
+                    ):
+                        yield Finding(
+                            node.name,
+                            f"transform {t_in.from_layout} -> {t_in.to_layout} "
+                            f"is undone on the edge to {consumer.name}; the "
+                            f"island costs {t_in.ms + t_out.ms:.3f} ms of "
+                            f"transforms",
+                            {
+                                "island_layout": str(t_in.to_layout),
+                                "surrounding_layout": str(t_out.to_layout),
+                                "transform_ms": t_in.ms + t_out.ms,
+                            },
+                        )
 
 
 @rule(

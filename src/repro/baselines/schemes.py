@@ -34,7 +34,7 @@ from ..layers.backward_kernels import (
     softmax_backward_kernel,
 )
 from ..layers.base import ConvSpec, FCSpec, PoolSpec, SoftmaxSpec
-from ..layers.elementwise import LRNSpec, make_lrn_kernel
+from ..layers.elementwise import ElementwiseKernel, LRNSpec, make_lrn_kernel
 from ..layers.fc import make_fc_kernel
 from ..layers.pooling_kernels import make_pool_kernel
 from ..layers.softmax_kernels import make_softmax_kernel
@@ -105,6 +105,11 @@ class NetworkTiming:
 
 def _fixed_layer_time(engine: SimulationEngine, layer) -> tuple[str, float]:
     """Time for layout-transparent layers (identical across schemes)."""
+    if layer.kind is NodeKind.CONCAT:
+        elements = int(np.prod(layer.out_dims))
+        return "concat", engine.run(
+            ElementwiseKernel(elements, name="concat")
+        ).time_ms
     if isinstance(layer.spec, LRNSpec):
         elements = int(np.prod(layer.in_dims))
         return "lrn", engine.run(make_lrn_kernel(elements, layer.spec)).time_ms
@@ -208,7 +213,12 @@ def _library_scheme(
             )
         else:
             impl, ms = _fixed_layer_time(engine, layer)
-            bwd = _backward_ms(engine, layer, impl) if training else 0.0
+            if training:
+                # concat has no parameters; its backward is the same split
+                # traffic as its forward join
+                bwd = _backward_ms(engine, layer, impl) if layer.spec is not None else ms
+            else:
+                bwd = 0.0
             rows.append(
                 LayerTiming(
                     layer.name, layer.kind.value, "-", impl, ms, backward_ms=bwd
@@ -231,7 +241,17 @@ def _opt_scheme(
     # step taken to its conclusion: it weighs every layout choice against
     # transform costs using the profiled (simulated) layer times.
     ctx = context or default_context(device)
-    plan = plan_optimal(device, net.planner_nodes(device, context=ctx), context=ctx)
+    if net.is_chain:
+        plan = plan_optimal(
+            device, net.planner_nodes(device, context=ctx), context=ctx
+        )
+    else:
+        # branching networks have no planner-node chain; plan on the IR
+        from ..core.pipeline import PipelineOptions, plan_network
+
+        plan = plan_network(
+            device, net.definition, PipelineOptions(strategy="optimal"), context=ctx
+        ).plan
     engine = ctx.engine(check_memory=False)
     by_name = {layer.name: layer for layer in net.layers}
     rows = []

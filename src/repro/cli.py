@@ -21,7 +21,7 @@ import sys
 from collections.abc import Sequence
 
 from .baselines import SCHEMES, compare_schemes
-from .core import calibrate, plan_optimal, plan_with_heuristic
+from .core import calibrate
 from .framework import Net
 from .gpusim import (
     SimulationEngine,
@@ -102,16 +102,64 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.pipeline import PipelineOptions, plan_network
+
     device = get_device(args.device)
-    net = Net(build_network(args.network, batch=args.batch))
-    nodes = net.planner_nodes(device)
-    planner = plan_with_heuristic if args.strategy == "heuristic" else plan_optimal
-    plan = planner(device, nodes)
+    netdef = build_network(args.network, batch=args.batch)
+    result = plan_network(
+        device, netdef, PipelineOptions(strategy=args.strategy)
+    )
+    plan = result.plan
+    if args.format == "json":
+        payload = {
+            "network": netdef.name,
+            "device": device.name,
+            "strategy": plan.strategy,
+            "total_ms": plan.total_ms,
+            "transform_count": plan.transform_count,
+            "transform_ms": plan.transform_ms,
+            "steps": [
+                {
+                    "name": s.name,
+                    "kind": s.kind.value,
+                    "layout": str(s.layout) if s.layout else None,
+                    "implementation": s.implementation,
+                    "layer_ms": s.layer_ms,
+                    "transform_ms": s.transform_ms,
+                    "transformed_from": (
+                        str(s.transformed_from) if s.transformed_from else None
+                    ),
+                    "transformed_to": (
+                        str(s.transformed_to) if s.transformed_to else None
+                    ),
+                    "coarsening": list(s.coarsening) if s.coarsening else None,
+                }
+                for s in plan.steps
+            ],
+            "passes": [
+                {
+                    "name": t.name,
+                    "ms": t.ms,
+                    "nodes_before": t.nodes_before,
+                    "nodes_after": t.nodes_after,
+                    "stats": t.stats,
+                }
+                for t in result.trace
+            ],
+            "graph": result.graph.to_json(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(plan.summary())
     print(
         f"\ntransforms: {plan.transform_count} "
         f"({plan.transform_ms:.3f} ms of {plan.total_ms:.3f} ms total)"
     )
+    if args.explain:
+        print()
+        print(result.explain())
     return 0
 
 
@@ -371,6 +419,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--network", required=True, choices=sorted(NETWORK_BUILDERS))
     p.add_argument("--batch", type=int, default=None)
     p.add_argument("--strategy", choices=("heuristic", "optimal"), default="optimal")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--explain", action="store_true",
+                   help="print the pass pipeline's per-pass timing and stats")
 
     p = sub.add_parser("bench", help="simulate networks or layer groups")
     _add_device(p)

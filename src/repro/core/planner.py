@@ -15,16 +15,23 @@ Two planners are provided:
 * :func:`plan_optimal` — dynamic programming over the layer chain, the
   exhaustive version of the same trade-off.  Used in tests to prove the
   heuristic plan is near-optimal and in the ``Opt`` whole-network scheme.
+
+Both public planners are now thin compatibility wrappers over the pass
+pipeline (``repro.core.pipeline``), which generalizes the same algorithms
+from chains to DAGs; prefer :func:`repro.core.pipeline.run_pipeline` in
+new code.  The original chain implementations are retained as
+``_legacy_plan_with_heuristic``/``_legacy_plan_optimal`` so the golden
+equivalence tests can prove the pipeline reproduces them exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from enum import Enum
 
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import SimulationEngine
 from ..gpusim.session import SimulationContext, default_context
+from ..ir.graph import NodeKind
 from ..layers.base import ConvSpec, PoolSpec, SoftmaxSpec
 from ..layers.softmax_kernels import make_softmax_kernel
 from ..tensors.layout import CHWN, NCHW, DataLayout
@@ -41,14 +48,8 @@ from .selector import best_conv_for_layout
 
 PLAN_LAYOUTS: tuple[DataLayout, ...] = (CHWN, NCHW)
 
-
-class NodeKind(Enum):
-    """What a planner node computes."""
-
-    CONV = "conv"
-    POOL = "pool"
-    ELEMENTWISE = "elementwise"  # relu / lrn: layout-transparent
-    CLASSIFIER = "classifier"  # fc / softmax: layout-irrelevant (flattened)
+# NodeKind now lives in the IR (repro.ir.graph), which adds the CONCAT
+# member for DAG joins; imported above and re-exported for compatibility.
 
 
 @dataclass(frozen=True)
@@ -283,6 +284,34 @@ def plan_with_heuristic(
     """The paper's mechanism: per-layer (Ct, Nt) rules + transform-cost
     fine-tuning.
 
+    Compatibility wrapper: lowers the chain to the graph IR and runs the
+    pass pipeline (``AssignLayouts`` replays the exact algorithm below).
+    Prefer :func:`repro.core.pipeline.run_pipeline` in new code.
+    """
+    from ..ir.build import graph_from_plan_nodes
+    from .pipeline import PipelineOptions, run_pipeline
+
+    options = PipelineOptions(
+        strategy="heuristic",
+        thresholds=thresholds,
+        tune_pooling=tune_pooling,
+        allow_fft=allow_fft,
+    )
+    graph = graph_from_plan_nodes(list(nodes))
+    return run_pipeline(device, graph, options, context=context).plan
+
+
+def _legacy_plan_with_heuristic(
+    device: DeviceSpec,
+    nodes: list[PlanNode],
+    thresholds: LayoutThresholds | None = None,
+    tune_pooling: bool = True,
+    allow_fft: bool = True,
+    context: SimulationContext | None = None,
+) -> LayoutPlan:
+    """The original chain-only implementation, kept verbatim as the golden
+    reference the pipeline equivalence tests compare against.
+
     After the per-layer preferences are set, each *maximal run* of layers
     whose preference differs from its surroundings is kept only if its
     benefit exceeds the two transforms it would cost (this is what keeps
@@ -352,7 +381,36 @@ def plan_optimal(
     ``layouts`` widens the search space beyond the default {CHWN, NCHW}
     pair (e.g. to include NHWC); every candidate layout needs a registered
     convolution implementation family.
+
+    Compatibility wrapper over the pass pipeline (``AssignLayouts`` runs
+    the exact DP below on chains and generalizes it to DAGs).  Prefer
+    :func:`repro.core.pipeline.run_pipeline` in new code.
     """
+    if not layouts:
+        raise ValueError("need at least one candidate layout")
+    from ..ir.build import graph_from_plan_nodes
+    from .pipeline import PipelineOptions, run_pipeline
+
+    options = PipelineOptions(
+        strategy="optimal",
+        tune_pooling=tune_pooling,
+        allow_fft=allow_fft,
+        layouts=tuple(layouts),
+    )
+    graph = graph_from_plan_nodes(list(nodes))
+    return run_pipeline(device, graph, options, context=context).plan
+
+
+def _legacy_plan_optimal(
+    device: DeviceSpec,
+    nodes: list[PlanNode],
+    tune_pooling: bool = True,
+    allow_fft: bool = True,
+    layouts: tuple[DataLayout, ...] = PLAN_LAYOUTS,
+    context: SimulationContext | None = None,
+) -> LayoutPlan:
+    """The original chain-only DP, kept verbatim as the golden reference
+    the pipeline equivalence tests compare against."""
     if not layouts:
         raise ValueError("need at least one candidate layout")
     costs = _build_costs(device, nodes, tune_pooling, allow_fft, layouts, context)

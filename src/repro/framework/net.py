@@ -1,11 +1,13 @@
 """Network resolution and numeric execution (the Caffe-analog runtime).
 
-:class:`Net` turns a :class:`~repro.framework.netdef.NetworkDef` into a
-chain of resolved layer specs (shape inference), exposes the chain to the
-layout planner, and can execute the network numerically with any layout
-plan — performing real relayouts at plan boundaries, exactly where the
-integrated framework would launch its transformation kernel.  Numeric
-results are plan-invariant, which the integration tests assert.
+:class:`Net` turns a :class:`~repro.framework.netdef.NetworkDef` into
+resolved layer specs (shape inference now runs on the graph IR via
+``repro.ir.build``, so branching networks resolve too), exposes chain
+networks to the legacy layout planner, and can execute the network
+numerically with any layout plan — performing real relayouts at plan
+boundaries, exactly where the integrated framework would launch its
+transformation kernel.  Numeric results are plan-invariant, which the
+integration tests assert.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ import numpy as np
 from ..core.planner import LayoutPlan, NodeKind, PlanNode
 from ..gpusim.device import DeviceSpec
 from ..gpusim.session import SimulationContext, default_context
+from ..ir.build import infer_shapes, lower_netdef
 from ..layers.base import ConvSpec, FCSpec, PoolSpec, SoftmaxSpec
 from ..layers.conv import conv_forward, make_filters
 from ..layers.elementwise import (
@@ -29,7 +32,7 @@ from ..layers.fc import fc_forward, flatten_4d, make_fc_kernel, make_fc_weights
 from ..layers.softmax import softmax_forward
 from ..tensors.layout import NCHW, DataLayout
 from ..tensors.tensor import Tensor4D
-from .netdef import ConvDef, FCDef, LayerDef, LRNDef, NetworkDef, PoolDef, SoftmaxDef
+from .netdef import ConvDef, FCDef, LayerDef, NetworkDef
 
 
 @dataclass(frozen=True)
@@ -42,6 +45,8 @@ class ResolvedLayer:
     in_dims: tuple[int, int, int, int] | None  # 4-D logical input, if any
     out_dims: tuple[int, int, int, int] | None
     out_features: int | None = None  # for fc/softmax (2-D data)
+    #: producing layers this one reads (empty = the network input)
+    inputs: tuple[str, ...] = ()
 
     @property
     def name(self) -> str:
@@ -49,82 +54,26 @@ class ResolvedLayer:
 
 
 def resolve(net: NetworkDef) -> list[ResolvedLayer]:
-    """Shape-infer the whole stack.  Raises on inconsistent geometry."""
-    layers: list[ResolvedLayer] = []
-    dims: tuple[int, int, int, int] | None = (
-        net.batch,
-        net.in_channels,
-        net.in_h,
-        net.in_w,
-    )
-    features: int | None = None
-    for defn in net.layers:
-        if isinstance(defn, ConvDef):
-            if dims is None:
-                raise ValueError(f"{defn.name}: convolution after flattening")
-            n, c, h, w = dims
-            try:
-                spec = ConvSpec(
-                    n=n, ci=c, h=h, w=w, co=defn.co,
-                    fh=defn.f, fw=defn.f, stride=defn.stride, pad=defn.pad,
-                    groups=defn.groups,
-                )
-            except ValueError as exc:
-                raise ValueError(f"{defn.name}: {exc}") from exc
-            out = (n, defn.co, spec.out_h, spec.out_w)
-            layers.append(ResolvedLayer(defn, NodeKind.CONV, spec, dims, out))
-            dims = out
-        elif isinstance(defn, PoolDef):
-            if dims is None:
-                raise ValueError(f"{defn.name}: pooling after flattening")
-            n, c, h, w = dims
-            try:
-                spec = PoolSpec(
-                    n=n, c=c, h=h, w=w,
-                    window=defn.window, stride=defn.stride, op=defn.op,
-                )
-            except ValueError as exc:
-                raise ValueError(f"{defn.name}: {exc}") from exc
-            out = (n, c, spec.out_h, spec.out_w)
-            layers.append(ResolvedLayer(defn, NodeKind.POOL, spec, dims, out))
-            dims = out
-        elif isinstance(defn, LRNDef):
-            if dims is None:
-                raise ValueError(f"{defn.name}: LRN after flattening")
-            layers.append(
-                ResolvedLayer(
-                    defn, NodeKind.ELEMENTWISE, LRNSpec(depth=defn.depth), dims, dims
-                )
-            )
-        elif isinstance(defn, FCDef):
-            if dims is not None:
-                n, c, h, w = dims
-                in_features = c * h * w
-                batch = n
-            else:
-                assert features is not None
-                in_features = features
-                batch = net.batch
-            spec = FCSpec(n=batch, in_features=in_features, out_features=defn.out_features)
-            layers.append(
-                ResolvedLayer(
-                    defn, NodeKind.CLASSIFIER, spec, dims, None,
-                    out_features=defn.out_features,
-                )
-            )
-            dims, features = None, defn.out_features
-        elif isinstance(defn, SoftmaxDef):
-            if features is None:
-                raise ValueError(f"{defn.name}: softmax needs a preceding FC layer")
-            spec = SoftmaxSpec(n=net.batch, categories=features)
-            layers.append(
-                ResolvedLayer(
-                    defn, NodeKind.CLASSIFIER, spec, None, None, out_features=features
-                )
-            )
-        else:  # pragma: no cover - closed union
-            raise TypeError(f"unknown layer def {type(defn)!r}")
-    return layers
+    """Shape-infer the whole stack.  Raises on inconsistent geometry.
+
+    Adapter over the graph IR's :func:`~repro.ir.build.infer_shapes` — the
+    single shape-inference implementation — preserving the legacy
+    ``list[ResolvedLayer]`` view (topological order, which for chain
+    definitions is the definition order).
+    """
+    graph = infer_shapes(lower_netdef(net))
+    return [
+        ResolvedLayer(
+            defn=node.defn,  # type: ignore[arg-type]
+            kind=node.kind,
+            spec=node.spec,
+            in_dims=node.in_dims,
+            out_dims=node.out_dims,
+            out_features=node.out_features,
+            inputs=node.inputs,
+        )
+        for node in graph.topological()
+    ]
 
 
 class Net:
@@ -157,11 +106,31 @@ class Net:
             return self.context
         return default_context(device)
 
+    @property
+    def is_chain(self) -> bool:
+        """True when every layer reads the previous one (no branching)."""
+        prev: str | None = None
+        for layer in self.layers:
+            expected = (prev,) if prev is not None else ()
+            if layer.inputs != expected:
+                return False
+            prev = layer.name
+        return True
+
     # -- planner interface -------------------------------------------------
     def planner_nodes(
         self, device: DeviceSpec, context: SimulationContext | None = None
     ) -> list[PlanNode]:
-        """The layer chain as the layout planner consumes it."""
+        """The layer chain as the legacy layout planner consumes it.
+
+        Only defined for chain networks; branching networks plan through
+        the graph IR (:func:`repro.core.pipeline.plan_network`).
+        """
+        if not self.is_chain:
+            raise ValueError(
+                f"{self.name}: branching networks have no planner-node chain; "
+                "plan through repro.core.pipeline.plan_network instead"
+            )
         engine = self._context_for(device, context).engine(check_memory=False)
         nodes: list[PlanNode] = []
         for layer in self.layers:
@@ -226,9 +195,21 @@ class Net:
         """
         weights = weights if weights is not None else self.init_weights()
         steps = {s.name: s for s in plan.steps} if plan is not None else {}
+        produced: dict[str, Tensor4D | np.ndarray] = {}
         current: Tensor4D | np.ndarray = x
         for layer in self.layers:
             step = steps.get(layer.name)
+            current = produced[layer.inputs[0]] if layer.inputs else x
+            if layer.kind is NodeKind.CONCAT:
+                parts = [produced[src] for src in layer.inputs]
+                assert all(isinstance(p, Tensor4D) for p in parts)
+                target = parts[0].layout  # type: ignore[union-attr]
+                joined = np.concatenate(
+                    [p.as_nchw() for p in parts],  # type: ignore[union-attr]
+                    axis=1,
+                )
+                produced[layer.name] = Tensor4D.from_nchw(joined, target)
+                continue
             if layer.kind in (NodeKind.CONV, NodeKind.POOL):
                 assert isinstance(current, Tensor4D)
                 target = step.layout if step and step.layout else current.layout
@@ -271,9 +252,11 @@ class Net:
                     assert isinstance(spec, SoftmaxSpec)
                     assert isinstance(current, np.ndarray)
                     current = softmax_forward(current, spec, fused=True)
-        if isinstance(current, Tensor4D):
-            return current.as_nchw()
-        return current
+            produced[layer.name] = current
+        out = produced[self.layers[-1].name] if self.layers else x
+        if isinstance(out, Tensor4D):
+            return out.as_nchw()
+        return out
 
 
 def _numeric_conv_impl(plan_impl: str) -> str:

@@ -7,6 +7,13 @@ configuration; :func:`parse_netdef` / :func:`format_netdef` read and write a
 small prototxt-like text form.  The paper's data-layout support adds one
 field per conv/pool layer — the chosen layout — which here lives in the
 *plan* (``repro.core.planner``), keeping definitions layout-agnostic.
+
+Wiring: every layer has an optional ``bottom`` naming the layer it reads
+(Caffe's term); ``None`` means the previous layer in the stack (the
+network input for the first layer), so chain definitions stay as terse as
+before.  :class:`ConcatDef` joins several named layers along the channel
+axis, which is what lets a definition describe branching
+(Inception/ResNet-style) networks for the graph IR to plan.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ class ConvDef:
     pad: int = 0
     relu: bool = True
     groups: int = 1
+    bottom: str | None = None
 
     def __post_init__(self) -> None:
         if self.co <= 0 or self.f <= 0:
@@ -59,6 +67,7 @@ class PoolDef:
     window: int
     stride: int
     op: str = "max"
+    bottom: str | None = None
 
     def __post_init__(self) -> None:
         if self.window <= 0 or self.stride <= 0:
@@ -78,6 +87,7 @@ class LRNDef:
 
     name: str
     depth: int = 5
+    bottom: str | None = None
 
     def __post_init__(self) -> None:
         if self.depth <= 0:
@@ -91,6 +101,7 @@ class FCDef:
     name: str
     out_features: int
     relu: bool = True
+    bottom: str | None = None
 
     def __post_init__(self) -> None:
         if self.out_features <= 0:
@@ -104,9 +115,28 @@ class SoftmaxDef:
     """The final classifier layer."""
 
     name: str
+    bottom: str | None = None
 
 
-LayerDef = Union[ConvDef, PoolDef, LRNDef, FCDef, SoftmaxDef]
+@dataclass(frozen=True)
+class ConcatDef:
+    """Channel-axis join of several named layers (same N, H, W)."""
+
+    name: str
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        if len(self.inputs) < 2:
+            raise ValueError(
+                f"{self.name}: concat needs at least two inputs, "
+                f"got {len(self.inputs)}"
+            )
+        if len(set(self.inputs)) != len(self.inputs):
+            raise ValueError(f"{self.name}: duplicate concat inputs {self.inputs}")
+
+
+LayerDef = Union[ConvDef, PoolDef, LRNDef, FCDef, SoftmaxDef, ConcatDef]
 
 
 @dataclass(frozen=True)
@@ -126,6 +156,19 @@ class NetworkDef:
         names = [layer.name for layer in self.layers]
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate layer names in {self.name}: {names}")
+        seen: set[str] = set()
+        for layer in self.layers:
+            if isinstance(layer, ConcatDef):
+                refs: tuple[str, ...] = layer.inputs
+            else:
+                refs = (layer.bottom,) if layer.bottom is not None else ()
+            for ref in refs:
+                if ref not in seen:
+                    raise ValueError(
+                        f"{layer.name}: bottom {ref!r} does not name an "
+                        f"earlier layer of {self.name}"
+                    )
+            seen.add(layer.name)
 
     def with_batch(self, batch: int) -> "NetworkDef":
         return NetworkDef(
@@ -141,26 +184,29 @@ def format_netdef(net: NetworkDef) -> str:
     ]
     for layer in net.layers:
         if isinstance(layer, ConvDef):
-            lines.append(
+            line = (
                 f"conv {layer.name} co={layer.co} f={layer.f} "
                 f"stride={layer.stride} pad={layer.pad} relu={int(layer.relu)} "
                 f"groups={layer.groups}"
             )
         elif isinstance(layer, PoolDef):
-            lines.append(
+            line = (
                 f"pool {layer.name} window={layer.window} stride={layer.stride} "
                 f"op={layer.op}"
             )
         elif isinstance(layer, LRNDef):
-            lines.append(f"lrn {layer.name} depth={layer.depth}")
+            line = f"lrn {layer.name} depth={layer.depth}"
         elif isinstance(layer, FCDef):
-            lines.append(
-                f"fc {layer.name} out={layer.out_features} relu={int(layer.relu)}"
-            )
+            line = f"fc {layer.name} out={layer.out_features} relu={int(layer.relu)}"
         elif isinstance(layer, SoftmaxDef):
-            lines.append(f"softmax {layer.name}")
+            line = f"softmax {layer.name}"
+        elif isinstance(layer, ConcatDef):
+            line = f"concat {layer.name} inputs={','.join(layer.inputs)}"
         else:  # pragma: no cover - union is closed
             raise TypeError(f"unknown layer type {type(layer)!r}")
+        if not isinstance(layer, ConcatDef) and layer.bottom is not None:
+            line += f" bottom={layer.bottom}"
+        lines.append(line)
     return "\n".join(lines) + "\n"
 
 
@@ -197,6 +243,7 @@ def parse_netdef(text: str) -> NetworkDef:
             raise ValueError(f"line {line_no}: layer before network header")
         name, *tokens = rest
         kv = _kv(tokens, line_no)
+        bottom = kv.get("bottom")
         if kind == "conv":
             layers.append(
                 ConvDef(
@@ -207,6 +254,7 @@ def parse_netdef(text: str) -> NetworkDef:
                     pad=int(kv.get("pad", 0)),
                     relu=bool(int(kv.get("relu", 1))),
                     groups=int(kv.get("groups", 1)),
+                    bottom=bottom,
                 )
             )
         elif kind == "pool":
@@ -216,20 +264,28 @@ def parse_netdef(text: str) -> NetworkDef:
                     window=int(kv["window"]),
                     stride=int(kv["stride"]),
                     op=kv.get("op", "max"),
+                    bottom=bottom,
                 )
             )
         elif kind == "lrn":
-            layers.append(LRNDef(name=name, depth=int(kv.get("depth", 5))))
+            layers.append(
+                LRNDef(name=name, depth=int(kv.get("depth", 5)), bottom=bottom)
+            )
         elif kind == "fc":
             layers.append(
                 FCDef(
                     name=name,
                     out_features=int(kv["out"]),
                     relu=bool(int(kv.get("relu", 1))),
+                    bottom=bottom,
                 )
             )
         elif kind == "softmax":
-            layers.append(SoftmaxDef(name=name))
+            layers.append(SoftmaxDef(name=name, bottom=bottom))
+        elif kind == "concat":
+            layers.append(
+                ConcatDef(name=name, inputs=tuple(kv["inputs"].split(",")))
+            )
         else:
             raise ValueError(f"line {line_no}: unknown layer kind {kind!r}")
     if header is None:

@@ -1,0 +1,35 @@
+"""repro.ir — the typed network-graph IR the pass pipeline runs over.
+
+``repro.ir.graph`` defines the data model (:class:`Graph`,
+:class:`GraphNode`, :class:`EdgeTransform`, :class:`NodeKind`);
+``repro.ir.build`` lowers :class:`~repro.framework.netdef.NetworkDef` (or a
+legacy planner chain) into it.  See docs/ARCHITECTURE.md.
+"""
+
+from .graph import (
+    Dims,
+    EdgeTransform,
+    Graph,
+    GraphError,
+    GraphNode,
+    NodeKind,
+)
+from .build import (
+    graph_from_plan_nodes,
+    infer_shapes,
+    iter_edges,
+    lower_netdef,
+)
+
+__all__ = [
+    "Dims",
+    "EdgeTransform",
+    "Graph",
+    "GraphError",
+    "GraphNode",
+    "NodeKind",
+    "graph_from_plan_nodes",
+    "infer_shapes",
+    "iter_edges",
+    "lower_netdef",
+]

@@ -5,6 +5,7 @@ from .definitions import (
     alexnet,
     build_network,
     cifar,
+    inception,
     lenet,
     vgg,
     zfnet,
@@ -32,6 +33,7 @@ __all__ = [
     "build_network",
     "cifar",
     "conv_layer",
+    "inception",
     "lenet",
     "pool_layer",
     "vgg",

@@ -11,6 +11,7 @@ LeNet/Cifar/AlexNet, 64 for ZFNet, 32 for VGG).
 from __future__ import annotations
 
 from ..framework.netdef import (
+    ConcatDef,
     ConvDef,
     FCDef,
     LRNDef,
@@ -168,11 +169,53 @@ def alexnet_grouped(batch: int = 128) -> NetworkDef:
     )
 
 
+def inception(batch: int = 64) -> NetworkDef:
+    """A GoogLeNet-style stem plus one Inception block (Szegedy et al.).
+
+    The only bundled *branching* network: four parallel paths read the
+    same pooling output and a channel concat joins them.  It exercises the
+    graph planner on a real DAG — the 5x5 path's bottleneck (16 input
+    channels, below Ct=32) prefers CHWN while its wide siblings prefer
+    NCHW, so the layout of the join is a genuine optimization decision the
+    chain planner cannot even express.
+    """
+    return NetworkDef(
+        name="inception",
+        batch=batch,
+        in_channels=3,
+        in_h=224,
+        in_w=224,
+        layers=(
+            # stem
+            ConvDef("conv1", co=64, f=7, stride=2, pad=3),
+            PoolDef("pool1", window=3, stride=2),
+            ConvDef("conv2", co=64, f=1),
+            LRNDef("norm1"),
+            ConvDef("conv3", co=192, f=3, pad=1),
+            PoolDef("pool2", window=3, stride=2),
+            # inception block: four branches off pool2
+            ConvDef("b1", co=64, f=1, bottom="pool2"),
+            ConvDef("b2a", co=96, f=1, bottom="pool2"),
+            ConvDef("b2b", co=128, f=3, pad=1, bottom="b2a"),
+            ConvDef("b3a", co=16, f=1, bottom="pool2"),
+            ConvDef("b3b", co=32, f=5, pad=2, bottom="b3a"),
+            ConvDef("b4", co=32, f=1, bottom="pool2"),
+            ConcatDef("concat", inputs=("b1", "b2b", "b3b", "b4")),
+            # head
+            PoolDef("pool3", window=3, stride=2),
+            FCDef("fc1", out_features=512),
+            FCDef("fc2", out_features=1000, relu=False),
+            SoftmaxDef("prob"),
+        ),
+    )
+
+
 NETWORK_BUILDERS = {
     "lenet": lenet,
     "cifar": cifar,
     "alexnet": alexnet,
     "alexnet-grouped": alexnet_grouped,
+    "inception": inception,
     "zfnet": zfnet,
     "vgg": vgg,
 }

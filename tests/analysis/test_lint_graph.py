@@ -1,0 +1,132 @@
+"""Graph-aware L001/L002: the edge-walking rules over hand-built IR graphs.
+
+When ``lint_plan`` receives a ``graph``, L001/L002 walk the real
+producer→consumer edges instead of the linear step sequence — the chain
+walk would misfire on branching networks (a branch's neighbour in step
+order is not its producer).
+"""
+
+from repro.analysis import Severity, lint_plan
+from repro.core.pipeline import PipelineOptions, plan_network
+from repro.core.planner import LayoutPlan
+from repro.gpusim import TITAN_BLACK
+from repro.ir.graph import EdgeTransform, Graph, GraphNode, NodeKind
+from repro.networks import build_network
+from repro.tensors import CHWN, NCHW
+
+EMPTY_PLAN = LayoutPlan(steps=(), device=TITAN_BLACK.name, strategy="test")
+
+
+def ids_of(diagnostics):
+    return {d.rule_id for d in diagnostics}
+
+
+def fork_graph() -> Graph:
+    """stem feeding two branches joined by a concat."""
+    g = Graph("fork", batch=4, in_channels=3, in_h=8, in_w=8)
+    g.add(GraphNode("stem", NodeKind.CONV, layout=CHWN))
+    g.add(GraphNode("a", NodeKind.CONV, inputs=("stem",), layout=CHWN))
+    g.add(GraphNode("b", NodeKind.CONV, inputs=("stem",), layout=CHWN))
+    g.add(GraphNode("join", NodeKind.CONCAT, inputs=("a", "b"), layout=CHWN))
+    return g
+
+
+class TestGraphLayoutMismatch:
+    def test_clean_graph_silent(self):
+        diags = lint_plan(TITAN_BLACK, EMPTY_PLAN, graph=fork_graph())
+        assert "L001" not in ids_of(diags)
+
+    def test_missing_transform_on_one_branch_edge(self):
+        g = fork_graph()
+        g["b"].layout = NCHW  # stem is CHWN; no transform recorded
+        findings = [
+            d
+            for d in lint_plan(TITAN_BLACK, EMPTY_PLAN, graph=g)
+            if d.rule_id == "L001"
+        ]
+        # two broken edges: stem->b (arrives CHWN) and b->join (arrives NCHW)
+        assert [(d.subject, d.detail["edge"]) for d in findings] == [
+            ("b", "stem"),
+            ("join", "b"),
+        ]
+        assert all(d.severity is Severity.ERROR for d in findings)
+
+    def test_transform_with_wrong_source_layout(self):
+        g = fork_graph()
+        g["b"].layout = NCHW
+        g["b"].transforms = (
+            EdgeTransform(src="stem", from_layout=NCHW, to_layout=NCHW, ms=0.1),
+        )
+        findings = [
+            d
+            for d in lint_plan(TITAN_BLACK, EMPTY_PLAN, graph=g)
+            if d.rule_id == "L001"
+        ]
+        assert any(
+            d.subject == "b" and d.detail.get("transform_source") == "NCHW"
+            for d in findings
+        )
+
+    def test_explicit_transform_is_clean(self):
+        g = fork_graph()
+        g["b"].layout = NCHW
+        g["b"].transforms = (
+            EdgeTransform(src="stem", from_layout=CHWN, to_layout=NCHW, ms=0.1),
+        )
+        diags = lint_plan(TITAN_BLACK, EMPTY_PLAN, graph=g)
+        assert all(d.subject != "b" for d in diags if d.rule_id == "L001")
+
+
+class TestGraphRedundantTransforms:
+    def test_island_across_concat(self):
+        g = fork_graph()
+        g["join"].layout = NCHW
+        g.add(GraphNode("pool", NodeKind.POOL, inputs=("join",), layout=CHWN))
+        g["join"].transforms = (
+            EdgeTransform(src="a", from_layout=CHWN, to_layout=NCHW, ms=0.2),
+            EdgeTransform(src="b", from_layout=CHWN, to_layout=NCHW, ms=0.2),
+        )
+        g["pool"].transforms = (
+            EdgeTransform(src="join", from_layout=NCHW, to_layout=CHWN, ms=0.2),
+        )
+        findings = [
+            d
+            for d in lint_plan(TITAN_BLACK, EMPTY_PLAN, graph=g)
+            if d.rule_id == "L002"
+        ]
+        # both incoming edges are undone on the way out: two islands
+        assert len(findings) == 2
+        assert all(d.subject == "join" for d in findings)
+        assert all(d.detail["island_layout"] == "NCHW" for d in findings)
+
+    def test_persistent_switch_is_not_an_island(self):
+        g = fork_graph()
+        g["join"].layout = NCHW
+        g.add(GraphNode("pool", NodeKind.POOL, inputs=("join",), layout=NCHW))
+        g["join"].transforms = (
+            EdgeTransform(src="a", from_layout=CHWN, to_layout=NCHW, ms=0.2),
+            EdgeTransform(src="b", from_layout=CHWN, to_layout=NCHW, ms=0.2),
+        )
+        diags = lint_plan(TITAN_BLACK, EMPTY_PLAN, graph=g)
+        assert "L002" not in ids_of(diags)
+
+
+class TestPipelineOutputIsClean:
+    def test_inception_has_no_errors(self, device):
+        """End-to-end: the pipeline's own DAG plan lints clean (the
+        elimination pass leaves no cancellable pairs behind)."""
+        for strategy in ("heuristic", "optimal"):
+            result = plan_network(
+                device,
+                build_network("inception"),
+                PipelineOptions(strategy=strategy),
+            )
+            diags = lint_plan(
+                device,
+                result.plan,
+                result.graph.topological(),
+                network="inception",
+                graph=result.graph,
+            )
+            errors = [d for d in diags if d.severity is Severity.ERROR]
+            assert errors == [], f"{strategy}: {[d.format() for d in errors]}"

@@ -1,0 +1,87 @@
+"""Golden equivalence: the pass pipeline reproduces the legacy planner.
+
+The legacy chain algorithms are kept verbatim in ``repro.core.planner`` as
+``_legacy_plan_with_heuristic`` / ``_legacy_plan_optimal``; the public
+``plan_with_heuristic`` / ``plan_optimal`` now route through the pipeline.
+These tests pin the two paths to identical plans — step sequence, layouts,
+implementations, transform records, and total time — on every bundled
+chain network, for both strategies.
+"""
+
+import pytest
+
+from repro.core.pipeline import PipelineOptions, plan_network
+from repro.core.planner import (
+    _legacy_plan_optimal,
+    _legacy_plan_with_heuristic,
+    plan_optimal,
+    plan_with_heuristic,
+)
+from repro.framework import Net
+from repro.gpusim.session import SimulationContext
+from repro.networks import build_network
+
+CHAIN_NETWORKS = ("lenet", "cifar", "alexnet", "alexnet-grouped", "zfnet", "vgg")
+
+
+@pytest.fixture(scope="module")
+def ctx(device):
+    """One shared timing cache for every planner run in this module."""
+    return SimulationContext(device, check_memory=False)
+
+
+def assert_plans_identical(actual, expected):
+    assert actual.device == expected.device
+    assert len(actual.steps) == len(expected.steps)
+    for got, want in zip(actual.steps, expected.steps):
+        assert got == want, f"{got.name}: {got} != {want}"
+    assert actual.total_ms == pytest.approx(expected.total_ms, abs=1e-12)
+
+
+@pytest.mark.parametrize("name", CHAIN_NETWORKS)
+def test_wrapper_matches_legacy_heuristic(name, device, ctx):
+    nodes = Net(build_network(name), context=ctx).planner_nodes(device)
+    legacy = _legacy_plan_with_heuristic(device, nodes, context=ctx)
+    assert_plans_identical(
+        plan_with_heuristic(device, nodes, context=ctx), legacy
+    )
+
+
+@pytest.mark.parametrize("name", CHAIN_NETWORKS)
+def test_wrapper_matches_legacy_optimal(name, device, ctx):
+    nodes = Net(build_network(name), context=ctx).planner_nodes(device)
+    legacy = _legacy_plan_optimal(device, nodes, context=ctx)
+    assert_plans_identical(plan_optimal(device, nodes, context=ctx), legacy)
+
+
+@pytest.mark.parametrize("name", CHAIN_NETWORKS)
+@pytest.mark.parametrize("strategy", ("heuristic", "optimal"))
+def test_plan_network_matches_legacy(name, strategy, device, ctx):
+    """The netdef entry point (lowering through the IR, not through
+    PlanNodes) still lands on the exact legacy plan."""
+    netdef = build_network(name)
+    nodes = Net(netdef, context=ctx).planner_nodes(device)
+    legacy_fn = (
+        _legacy_plan_with_heuristic
+        if strategy == "heuristic"
+        else _legacy_plan_optimal
+    )
+    legacy = legacy_fn(device, nodes, context=ctx)
+    result = plan_network(
+        device, netdef, PipelineOptions(strategy=strategy), context=ctx
+    )
+    assert_plans_identical(result.plan, legacy)
+
+
+def test_no_fft_option_respected(device, ctx):
+    nodes = Net(build_network("alexnet"), context=ctx).planner_nodes(device)
+    legacy = _legacy_plan_optimal(device, nodes, allow_fft=False, context=ctx)
+    assert_plans_identical(
+        plan_optimal(device, nodes, allow_fft=False, context=ctx), legacy
+    )
+    assert all("fft" not in s.implementation for s in legacy.steps)
+
+
+def test_empty_chain(device):
+    assert plan_optimal(device, []).steps == ()
+    assert plan_with_heuristic(device, []).steps == ()

@@ -1,0 +1,193 @@
+"""Pass-level unit tests for the pipeline, plus DAG planning end-to-end."""
+
+import pytest
+
+from repro.core.pipeline import (
+    FUSION_PATTERNS,
+    EliminateRedundantTransforms,
+    FuseKernels,
+    InsertTransforms,
+    PipelineOptions,
+    plan_network,
+    register_fusion_pattern,
+    run_pipeline,
+)
+from repro.framework import Net, Trainer
+from repro.ir.graph import Graph, GraphNode, NodeKind
+from repro.networks import build_network
+from repro.tensors import CHWN, NCHW
+
+
+def sandwich_graph() -> Graph:
+    """conv(CHWN) -> lrn(NCHW) -> conv(CHWN): the LRN is layout-agnostic,
+    so its NCHW label forces a transform-inverse pair around it."""
+    dims = (64, 32, 16, 16)
+    g = Graph("sandwich", batch=64, in_channels=32, in_h=16, in_w=16)
+    g.add(GraphNode("conv1", NodeKind.CONV, in_dims=dims, out_dims=dims, layout=CHWN))
+    g.add(
+        GraphNode(
+            "lrn", NodeKind.ELEMENTWISE, inputs=("conv1",),
+            in_dims=dims, out_dims=dims, layout=NCHW,
+        )
+    )
+    g.add(
+        GraphNode(
+            "conv2", NodeKind.CONV, inputs=("lrn",),
+            in_dims=dims, out_dims=dims, layout=CHWN,
+        )
+    )
+    return g
+
+
+class TestEliminateRedundantTransforms:
+    def test_cancels_pair_across_agnostic_node(self, device):
+        result = run_pipeline(
+            device,
+            sandwich_graph(),
+            passes=[InsertTransforms(), EliminateRedundantTransforms()],
+        )
+        insert, eliminate = result.trace
+        assert insert.stats["inserted"] == 2  # into lrn, back into conv2
+        assert eliminate.stats["relabeled"] == ("lrn",)
+        assert eliminate.stats["removed"] == 2
+        assert eliminate.stats["added"] == 0
+        assert eliminate.stats["ms_saved"] > 0
+        assert result.graph["lrn"].layout == CHWN
+        assert all(n.transforms == () for n in result.graph)
+
+    def test_noop_when_layouts_agree(self, device):
+        g = sandwich_graph()
+        g["lrn"].layout = CHWN
+        result = run_pipeline(
+            device, g, passes=[InsertTransforms(), EliminateRedundantTransforms()]
+        )
+        eliminate = result.trace[1]
+        assert eliminate.stats["relabeled"] == ()
+        assert eliminate.stats["removed"] == 0
+        assert eliminate.stats["ms_saved"] == 0
+
+    def test_does_not_touch_layout_bearing_nodes(self, device):
+        """A pool between the convs is layout-bearing: its label encodes a
+        real kernel choice, so the pass must leave the transforms alone."""
+        g = sandwich_graph()
+        lrn = g["lrn"]
+        g.nodes["lrn"] = GraphNode(
+            "lrn", NodeKind.POOL, inputs=lrn.inputs,
+            in_dims=lrn.in_dims, out_dims=lrn.out_dims, layout=NCHW,
+        )
+        result = run_pipeline(
+            device, g, passes=[InsertTransforms(), EliminateRedundantTransforms()]
+        )
+        eliminate = result.trace[1]
+        assert eliminate.stats["relabeled"] == ()
+        assert result.graph["lrn"].layout == NCHW
+        assert len(result.graph["lrn"].transforms) == 1
+
+    def test_opt_out_flag(self, device):
+        result = run_pipeline(
+            device,
+            sandwich_graph(),
+            PipelineOptions(eliminate_redundant=False),
+            passes=[InsertTransforms(), EliminateRedundantTransforms()],
+        )
+        assert result.trace[1].stats == {"skipped": True}
+        assert result.graph["lrn"].layout == NCHW
+
+
+class TestFusionRegistry:
+    def test_unknown_pattern_rejected(self, device):
+        with pytest.raises(ValueError, match="unknown fusion pattern"):
+            run_pipeline(
+                device,
+                sandwich_graph(),
+                PipelineOptions(fusion_patterns=("no-such-pattern",)),
+                passes=[FuseKernels()],
+            )
+
+    def test_custom_pattern_applies(self, device):
+        @register_fusion_pattern("tag-lrn", "test-only: tag elementwise nodes")
+        def tag_lrn(graph, node, ctx):
+            if node.kind is not NodeKind.ELEMENTWISE:
+                return False
+            node.fused = "tag-lrn"
+            return True
+
+        try:
+            result = run_pipeline(
+                device,
+                sandwich_graph(),
+                PipelineOptions(fusion_patterns=("tag-lrn",)),
+                passes=[FuseKernels()],
+            )
+        finally:
+            FUSION_PATTERNS.pop("tag-lrn")
+        assert result.trace[0].stats["matched"] == {"tag-lrn": 1}
+        assert result.graph["lrn"].fused == "tag-lrn"
+        assert result.graph["conv1"].fused is None
+
+    def test_transform_pooling_is_opt_in(self, device):
+        g = sandwich_graph()
+        lrn = g["lrn"]
+        g.nodes["lrn"] = GraphNode(
+            "lrn", NodeKind.POOL, inputs=lrn.inputs,
+            in_dims=lrn.in_dims, out_dims=lrn.out_dims, layout=NCHW,
+        )
+        baseline = run_pipeline(device, g, passes=[InsertTransforms()])
+        full_ms = baseline.graph["lrn"].transform_ms
+        assert full_ms > 0
+
+        fused = run_pipeline(
+            device,
+            g,
+            PipelineOptions(fusion_patterns=("softmax-fuse", "transform-pooling")),
+            passes=[InsertTransforms(), FuseKernels()],
+        )
+        assert fused.graph["lrn"].fused == "transform-pooling"
+        assert fused.graph["lrn"].transform_ms == pytest.approx(full_ms / 2)
+
+
+class TestBranchingNetwork:
+    @pytest.fixture(scope="class")
+    def heuristic(self, device):
+        return plan_network(
+            device, build_network("inception"), PipelineOptions(strategy="heuristic")
+        )
+
+    def test_eliminates_round_trip_at_concat(self, heuristic):
+        """The acceptance criterion: the heuristic labels the concat NCHW
+        (wide output) between CHWN branches and a CHWN pool; relabeling it
+        cancels the b3b->concat->pool3 transform-inverse pair."""
+        trace = {t.name: t for t in heuristic.trace}
+        stats = trace["EliminateRedundantTransforms"].stats
+        assert "concat" in stats["relabeled"]
+        assert stats["removed"] >= 2
+        assert stats["ms_saved"] > 0
+
+    def test_plan_covers_every_layer(self, heuristic):
+        netdef = build_network("inception")
+        assert [s.name for s in heuristic.plan.steps] == [
+            layer.name for layer in netdef.layers
+        ]
+        assert heuristic.plan.total_ms > 0
+
+    def test_optimal_no_worse_than_heuristic(self, device, heuristic):
+        optimal = plan_network(
+            device, build_network("inception"), PipelineOptions(strategy="optimal")
+        )
+        assert optimal.plan.total_ms <= heuristic.plan.total_ms + 1e-9
+
+    def test_legacy_chain_entry_points_refuse(self, device):
+        net = Net(build_network("inception"))
+        with pytest.raises(ValueError, match="branching"):
+            net.planner_nodes(device)
+        with pytest.raises(ValueError, match="linear networks only"):
+            Trainer(net)
+
+    def test_explain_lists_every_pass(self, heuristic):
+        text = heuristic.explain()
+        for name in (
+            "ResolveShapes", "AssignLayouts", "InsertTransforms",
+            "EliminateRedundantTransforms", "FuseKernels",
+            "SelectImplementations",
+        ):
+            assert name in text

@@ -1,0 +1,105 @@
+"""Lowering NetworkDef -> IR and shape inference over the graph."""
+
+import pytest
+
+from repro.framework.net import Net, resolve
+from repro.framework.netdef import (
+    ConcatDef,
+    ConvDef,
+    FCDef,
+    NetworkDef,
+    PoolDef,
+    SoftmaxDef,
+)
+from repro.ir import (
+    NodeKind,
+    graph_from_plan_nodes,
+    infer_shapes,
+    iter_edges,
+    lower_netdef,
+)
+from repro.networks import build_network
+
+
+class TestLowerChain:
+    def test_lenet_wiring_and_kinds(self):
+        graph = lower_netdef(build_network("lenet"))
+        names = [n.name for n in graph]
+        assert names == ["conv1", "pool1", "conv2", "pool2", "fc1", "fc2", "prob"]
+        assert graph["conv1"].inputs == ()
+        assert graph["pool1"].inputs == ("conv1",)
+        assert graph["prob"].kind is NodeKind.CLASSIFIER
+        assert graph.is_chain()
+
+    def test_shapes_match_framework_resolve(self):
+        net = build_network("alexnet")
+        graph = infer_shapes(lower_netdef(net))
+        layers = resolve(net)
+        for node, layer in zip(graph, layers):
+            assert node.name == layer.name
+            assert node.in_dims == layer.in_dims
+            assert node.out_dims == layer.out_dims
+            assert node.out_features == layer.out_features
+
+
+class TestLowerBranching:
+    def test_inception_concat_shapes(self):
+        graph = infer_shapes(lower_netdef(build_network("inception")))
+        assert not graph.is_chain()
+        concat = graph["concat"]
+        assert concat.kind is NodeKind.CONCAT
+        assert concat.inputs == ("b1", "b2b", "b3b", "b4")
+        # channels sum across branches; N/H/W match the branches
+        n, c, h, w = concat.out_dims
+        assert c == 64 + 128 + 32 + 32
+        for src in concat.inputs:
+            bn, bc, bh, bw = graph[src].out_dims
+            assert (bn, bh, bw) == (n, h, w)
+
+    def test_concat_spatial_mismatch_rejected(self):
+        net = NetworkDef(
+            "bad", 4, 3, 16, 16,
+            layers=(
+                ConvDef("a", co=8, f=3, pad=1),
+                ConvDef("b", co=8, f=3, bottom="a"),  # 14x14, a is 16x16
+                ConcatDef("cat", inputs=("a", "b")),
+                SoftmaxDef("prob", bottom="cat"),
+            ),
+        )
+        with pytest.raises(ValueError, match="cat"):
+            infer_shapes(lower_netdef(net))
+
+    def test_conv_after_flattening_error_preserved(self):
+        net = NetworkDef(
+            "flat", 4, 3, 8, 8,
+            layers=(
+                FCDef("fc", out_features=10),
+                ConvDef("conv", co=4, f=3),
+            ),
+        )
+        with pytest.raises(ValueError, match="convolution after flattening"):
+            infer_shapes(lower_netdef(net))
+
+
+class TestPlanNodeAdapter:
+    def test_graph_from_plan_nodes_round_trip(self, device):
+        net = Net(build_network("lenet"))
+        nodes = net.planner_nodes(device)
+        graph = graph_from_plan_nodes(nodes)
+        assert graph.is_chain()
+        assert [n.name for n in graph] == [n.name for n in nodes]
+        # out_dims back-filled from the successor's in_dims
+        for (a, b) in zip(graph.topological(), graph.topological()[1:]):
+            if b.in_dims is not None:
+                assert a.out_dims == b.in_dims
+
+    def test_iter_edges(self):
+        graph = lower_netdef(build_network("inception"))
+        edges = [
+            (src.name if src else None, dst.name)
+            for src, dst in iter_edges(graph)
+        ]
+        assert (None, "conv1") in edges  # the network-input edge
+        assert ("pool2", "b1") in edges and ("b3b", "concat") in edges
+        # one edge per (producer, consumer) pair
+        assert len(edges) == len(set(edges))

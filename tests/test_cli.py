@@ -36,6 +36,30 @@ class TestCommands:
         assert main(["plan", "--network", "cifar", "--strategy", "heuristic"]) == 0
         assert "heuristic" in capsys.readouterr().out
 
+    def test_plan_json_format(self, capsys):
+        import json
+
+        assert main(["plan", "--network", "lenet", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["network"] == "lenet"
+        assert payload["steps"][0]["name"] == "conv1"
+        assert [p["name"] for p in payload["passes"]][:2] == [
+            "ResolveShapes",
+            "AssignLayouts",
+        ]
+        assert "nodes" in payload["graph"]
+
+    def test_plan_explain_prints_pass_table(self, capsys):
+        assert main(["plan", "--network", "cifar", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "EliminateRedundantTransforms" in out
+        assert "SelectImplementations" in out
+
+    def test_plan_branching_network(self, capsys):
+        assert main(["plan", "--network", "inception"]) == 0
+        out = capsys.readouterr().out
+        assert "concat" in out and "b3b" in out
+
     def test_bench_network(self, capsys):
         assert main(["bench", "--network", "lenet"]) == 0
         out = capsys.readouterr().out
