@@ -17,6 +17,7 @@ from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import GpuOutOfMemoryError
 from ..gpusim.parallel import parallel_map
 from ..gpusim.session import SimulationContext, default_context
+from ..obs.tracer import span as obs_span
 from ..layers.base import ConvSpec, PoolSpec, SoftmaxSpec
 from ..layers.conv_kernels import ConvUnsupportedError, make_conv_kernel
 from ..layers.pooling_kernels import make_pool_kernel
@@ -121,7 +122,16 @@ def _run_grid(
         for value in values
         for impl in implementations
     ]
-    points = parallel_map(_eval_cell, cells, context, jobs=jobs)
+    with obs_span(
+        f"sweep:{kind}:{dimension}",
+        "sweep",
+        kind=kind,
+        dimension=dimension,
+        cells=len(cells),
+        implementations=list(implementations),
+        jobs=jobs or 1,
+    ):
+        points = parallel_map(_eval_cell, cells, context, jobs=jobs)
     return SweepResult(
         dimension=dimension,
         values=tuple(values),

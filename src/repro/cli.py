@@ -1,17 +1,24 @@
 """Command-line interface:
-``repro {info,calibrate,plan,bench,inspect,footprint,lint,transform}``.
+``repro {info,calibrate,plan,bench,profile,inspect,footprint,lint,transform}``.
 
 Examples::
 
     repro info
     repro calibrate --device titan-x
     repro plan --network alexnet --device titan-black
+    repro plan --network alexnet --trace plan-trace.json
+    repro profile alexnet --trace out.json --metrics metrics.json
     repro bench --network lenet
     repro bench --layers conv
     repro inspect --layer CV7 --verbose
     repro footprint --network vgg --training
     repro lint --network alexnet --format json
     repro transform --n 64 --c 96 --hw 55
+
+``--trace``/``--jsonl``/``--metrics`` (on ``plan``, ``sweep``,
+``calibrate``, and ``profile``) install a span tracer around the command
+and export its stream afterwards; results are byte-identical with and
+without tracing (file notes go to stderr).  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -40,6 +47,16 @@ from .networks import (
     NETWORK_BUILDERS,
     POOL_LAYERS,
     build_network,
+)
+from .obs import (
+    Tracer,
+    active_tracer,
+    install_tracer,
+    summarize_spans,
+    uninstall_tracer,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
 )
 from .tensors import CHWN, NCHW, TensorDesc, transform_stats
 
@@ -70,6 +87,25 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
         help="worker processes for independent kernel evaluations "
         "(1 = serial, negative = all CPUs); results are identical for any "
         "value",
+    )
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome-trace JSON span timeline (load in "
+        "chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--jsonl",
+        metavar="FILE",
+        help="write the raw span/event stream as JSON Lines",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write aggregated counters/gauges/histograms as JSON",
     )
 
 
@@ -160,6 +196,34 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     if args.explain:
         print()
         print(result.explain())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .core.pipeline import PipelineOptions, plan_network
+
+    device = get_device(args.device)
+    netdef = build_network(args.network, batch=args.batch)
+    result = plan_network(
+        device, netdef, PipelineOptions(strategy=args.strategy)
+    )
+    plan = result.plan
+    print(
+        f"profile: {netdef.name} on {device.name} "
+        f"(strategy={plan.strategy}, batch={netdef.batch})"
+    )
+    print()
+    print(plan.summary())
+    print(
+        f"\ntransforms: {plan.transform_count} "
+        f"({plan.transform_ms:.3f} ms of {plan.total_ms:.3f} ms total)"
+    )
+    print()
+    print(result.explain())
+    tracer = active_tracer()
+    if tracer is not None:
+        print()
+        print(summarize_spans(tracer.spans()))
     return 0
 
 
@@ -413,15 +477,28 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("calibrate", help="derive the (Ct, Nt) layout thresholds")
     _add_device(p)
     _add_jobs(p)
+    _add_obs(p)
 
     p = sub.add_parser("plan", help="plan layouts for a network")
     _add_device(p)
+    _add_obs(p)
     p.add_argument("--network", required=True, choices=sorted(NETWORK_BUILDERS))
     p.add_argument("--batch", type=int, default=None)
     p.add_argument("--strategy", choices=("heuristic", "optimal"), default="optimal")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--explain", action="store_true",
                    help="print the pass pipeline's per-pass timing and stats")
+
+    p = sub.add_parser(
+        "profile",
+        help="plan a network under the span tracer and print a profile "
+        "summary (pair with --trace/--metrics for files)",
+    )
+    _add_device(p)
+    _add_obs(p)
+    p.add_argument("network", choices=sorted(NETWORK_BUILDERS))
+    p.add_argument("--batch", type=int, default=None)
+    p.add_argument("--strategy", choices=("heuristic", "optimal"), default="optimal")
 
     p = sub.add_parser("bench", help="simulate networks or layer groups")
     _add_device(p)
@@ -437,6 +514,7 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="sensitivity sweep over one conv dimension")
     _add_device(p)
     _add_jobs(p)
+    _add_obs(p)
     p.add_argument("--layer", required=True, help="CV1..CV12 base shape")
     p.add_argument("--dim", default="n", help="ConvSpec field to vary (n, ci, co, h)")
     p.add_argument("--values", default="16,32,64,128,256")
@@ -487,6 +565,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "info": _cmd_info,
         "calibrate": _cmd_calibrate,
         "plan": _cmd_plan,
+        "profile": _cmd_profile,
         "bench": _cmd_bench,
         "attribute": _cmd_attribute,
         "sweep": _cmd_sweep,
@@ -495,7 +574,40 @@ def main(argv: Sequence[str] | None = None) -> int:
         "lint": _cmd_lint,
         "transform": _cmd_transform,
     }
-    status = handlers[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    jsonl_path = getattr(args, "jsonl", None)
+    metrics_path = getattr(args, "metrics", None)
+    # `profile` always traces (its summary reads the span stream); the
+    # other commands trace only when asked for an export file.  Tracing is
+    # observational: the handler's stdout is byte-identical either way,
+    # and file notes go to stderr.
+    want_tracer = bool(trace_path or jsonl_path) or args.command == "profile"
+    tracer = install_tracer(Tracer(f"repro-{args.command}")) if want_tracer else None
+    try:
+        if tracer is not None:
+            with tracer.span(f"repro {args.command}", "cli", command=args.command):
+                status = handlers[args.command](args)
+        else:
+            status = handlers[args.command](args)
+    finally:
+        if want_tracer:
+            uninstall_tracer()
+    if tracer is not None and trace_path:
+        write_chrome_trace(trace_path, tracer)
+        print(
+            f"trace: wrote {len(tracer.spans())} spans to {trace_path}",
+            file=sys.stderr,
+        )
+    if tracer is not None and jsonl_path:
+        write_jsonl(jsonl_path, tracer)
+        print(
+            f"jsonl: wrote {len(tracer.spans())} spans / "
+            f"{len(tracer.events())} events to {jsonl_path}",
+            file=sys.stderr,
+        )
+    if metrics_path:
+        write_metrics(metrics_path)
+        print(f"metrics: wrote {metrics_path}", file=sys.stderr)
     if getattr(args, "sim_stats", False):
         print()
         print(global_sim_stats().summary())

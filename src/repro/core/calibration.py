@@ -15,6 +15,7 @@ from dataclasses import dataclass, replace
 from ..gpusim.device import DeviceSpec
 from ..gpusim.parallel import parallel_map
 from ..gpusim.session import SimulationContext, default_context
+from ..obs.tracer import span as obs_span
 from ..layers.base import ConvSpec
 from ..layers.conv_kernels import make_conv_kernel
 from .heuristic import LayoutThresholds
@@ -87,9 +88,12 @@ def calibrate(
     profiling_ms = 0.0
 
     n_sorted = sorted(n_values)
-    n_times = parallel_map(
-        _time_both, [replace(reference, n=n) for n in n_sorted], ctx, jobs=jobs
-    )
+    with obs_span(
+        "calibrate:n-sweep", "calibrate", device=device.name, points=len(n_sorted)
+    ):
+        n_times = parallel_map(
+            _time_both, [replace(reference, n=n) for n in n_sorted], ctx, jobs=jobs
+        )
     n_points = [
         SweepPoint(n, chwn, nchw) for n, (chwn, nchw) in zip(n_sorted, n_times)
     ]
@@ -98,12 +102,15 @@ def calibrate(
 
     c_batch = max((n for n in n_values if n < nt), default=min(n_values))
     c_sorted = sorted(c_values)
-    c_times = parallel_map(
-        _time_both,
-        [replace(reference, ci=c, n=c_batch) for c in c_sorted],
-        ctx,
-        jobs=jobs,
-    )
+    with obs_span(
+        "calibrate:c-sweep", "calibrate", device=device.name, points=len(c_sorted)
+    ):
+        c_times = parallel_map(
+            _time_both,
+            [replace(reference, ci=c, n=c_batch) for c in c_sorted],
+            ctx,
+            jobs=jobs,
+        )
     c_points = [
         SweepPoint(c, chwn, nchw) for c, (chwn, nchw) in zip(c_sorted, c_times)
     ]

@@ -41,6 +41,9 @@ from typing import Callable, Sequence
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import SimulationEngine
 from ..gpusim.session import SimulationContext, default_context
+from ..obs.metrics import global_registry
+from ..obs.tracer import active_tracer
+from ..obs.tracer import span as obs_span
 from ..ir.build import graph_from_plan_nodes, infer_shapes, lower_netdef
 from ..ir.graph import EdgeTransform, Graph, GraphNode, NodeKind
 from ..layers.base import FCSpec, SoftmaxSpec
@@ -132,18 +135,34 @@ class Pass:
 
 
 class PassManager:
-    """Run passes in order, timing each and snapshotting node counts."""
+    """Run passes in order, timing each and snapshotting node counts.
+
+    Each pass is *always* recorded: its wall time lands in a
+    :class:`PassTrace`, in the ``pipeline.pass_ms.*`` histograms of the
+    global metrics registry, and — when a tracer is installed — in a
+    ``pipeline.pass`` span whose attributes carry the pass's stats.  The
+    trace is available from every caller (``repro plan --trace``), not
+    just the ``--explain`` table.
+    """
 
     def __init__(self, passes: Sequence[Pass]) -> None:
         self.passes = list(passes)
 
     def run(self, graph: Graph, ctx: PassContext) -> tuple[Graph, tuple[PassTrace, ...]]:
+        registry = global_registry()
         traces: list[PassTrace] = []
         for p in self.passes:
             before = len(graph)
             started = time.perf_counter()
-            graph = p.run(graph, ctx)
+            with obs_span(p.name, "pipeline.pass", nodes_before=before) as sp:
+                graph = p.run(graph, ctx)
+                if sp is not None:
+                    sp.attrs["nodes_after"] = len(graph)
+                    sp.attrs.update(
+                        {k: _attr_safe(v) for k, v in p.stats.items()}
+                    )
             elapsed_ms = (time.perf_counter() - started) * 1e3
+            registry.histogram(f"pipeline.pass_ms.{p.name}").observe(elapsed_ms)
             traces.append(
                 PassTrace(
                     name=p.name,
@@ -154,6 +173,17 @@ class PassManager:
                 )
             )
         return graph, tuple(traces)
+
+
+def _attr_safe(value: object) -> object:
+    """Pass stats → span attributes (JSON-safe scalars/containers only)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_attr_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _attr_safe(v) for k, v in value.items()}
+    return repr(value)
 
 
 # ---------------------------------------------------------------------------
@@ -328,7 +358,49 @@ class AssignLayouts(Pass):
             histogram[str(node.layout)] = histogram.get(str(node.layout), 0) + 1
         self.stats["algorithm"] = algorithm
         self.stats["layouts"] = histogram
+        self._trace_decisions(graph, ctx, assign, algorithm)
         return graph
+
+    def _trace_decisions(
+        self,
+        graph: Graph,
+        ctx: PassContext,
+        assign: dict[str, DataLayout],
+        algorithm: str,
+    ) -> None:
+        """Emit one instant event per node: the layout that won, the raw
+        (Ct, Nt)/pooling preference it started from, and the per-layout
+        layer costs the decision weighed — the planner's "why"."""
+        tracer = active_tracer()
+        if tracer is None:
+            return
+        opts = ctx.options
+        prefs: dict[str, DataLayout] = {}
+        if CHWN in opts.layouts and NCHW in opts.layouts:
+            prefs = self._preferences(
+                graph, opts.thresholds or thresholds_for(ctx.device)
+            )
+        for node in graph.topological():
+            costs = ctx.costs.get(node.name)
+            preferred = prefs.get(node.name)
+            tracer.event(
+                f"layout:{node.name}",
+                "pipeline.decision",
+                node=node.name,
+                kind=node.kind.value,
+                algorithm=algorithm,
+                layout=str(assign[node.name]),
+                preferred=str(preferred) if preferred is not None else None,
+                overridden=(
+                    preferred is not None and assign[node.name] != preferred
+                ),
+                costs_ms={
+                    layout: round(choice[0], 6)
+                    for layout, choice in costs.per_layout.items()
+                }
+                if costs is not None
+                else None,
+            )
 
     # -- shared preference seeding ------------------------------------------
     @staticmethod
@@ -767,8 +839,18 @@ def run_pipeline(
     engine = (context or default_context(device)).engine(check_memory=False)
     ctx = PassContext(device=device, options=options, engine=engine)
     manager = PassManager(passes if passes is not None else default_passes())
-    graph, trace = manager.run(graph, ctx)
-    plan = graph_to_plan(graph, device, options.strategy_name())
+    with obs_span(
+        "run_pipeline",
+        "pipeline",
+        strategy=options.strategy_name(),
+        device=device.name,
+        nodes=len(graph),
+    ) as sp:
+        graph, trace = manager.run(graph, ctx)
+        plan = graph_to_plan(graph, device, options.strategy_name())
+        if sp is not None:
+            sp.attrs["total_ms"] = plan.total_ms
+            sp.attrs["transform_count"] = plan.transform_count
     return PipelineResult(graph=graph, plan=plan, trace=trace)
 
 

@@ -42,6 +42,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.metrics import global_registry
+from ..obs.tracer import active_tracer
 from .device import DeviceSpec
 
 #: Below this many still-active sets, set-parallel rounds stop paying for
@@ -158,11 +160,28 @@ class SetAssociativeCache:
 
     def _finish(self, hits: np.ndarray, evictions: int, t0: float) -> np.ndarray:
         global _SIM_CALLS, _SIM_WALL_S
-        self.stats.accesses += hits.size
-        self.stats.hits += int(hits.sum())
+        n_accesses = int(hits.size)
+        n_hits = int(hits.sum())
+        self.stats.accesses += n_accesses
+        self.stats.hits += n_hits
         self.stats.evictions += int(evictions)
+        wall_s = time.perf_counter() - t0
         _SIM_CALLS += 1
-        _SIM_WALL_S += time.perf_counter() - t0
+        _SIM_WALL_S += wall_s
+        registry = global_registry()
+        registry.counter("cache_model.replays").inc()
+        registry.counter("cache_model.accesses").inc(n_accesses)
+        registry.counter("cache_model.wall_s").inc(wall_s)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.record(
+                "l2-replay",
+                "sim.cache",
+                wall_s * 1e6,
+                accesses=n_accesses,
+                hits=n_hits,
+                evictions=int(evictions),
+            )
         return hits
 
     def access_stream(self, addresses: np.ndarray) -> np.ndarray:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.metrics import global_registry
 from .device import DeviceSpec
 from .kernel import MemoryProfile
 from .occupancy import Occupancy, latency_hiding_factor
@@ -84,9 +85,15 @@ def memory_service_time(
         serial_rounds * latency_sec if profile.total_transactions else 0.0,
     )
 
-    return MemoryServiceTimes(
+    result = MemoryServiceTimes(
         bandwidth_s=bandwidth_s,
         lsu_s=lsu_s,
         latency_s=latency_s,
         dram_bytes=dram_bytes,
     )
+    # Tally which mechanism bound each evaluated kernel — the roofline-style
+    # attribution (`dram.limiter.*` in the metrics snapshot).
+    registry = global_registry()
+    registry.counter(f"dram.limiter.{result.limiter}").inc()
+    registry.counter("dram.bytes_total").inc(dram_bytes)
+    return result

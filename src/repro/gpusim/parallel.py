@@ -13,7 +13,12 @@ worker processes while keeping the *results byte-identical to a serial run*:
 * on join, every worker's structural timing cache and counters are folded
   back into the parent context via
   :meth:`~repro.gpusim.session.SimulationContext.absorb`, so later serial
-  work still benefits from what the workers simulated.
+  work still benefits from what the workers simulated;
+* observability merges back the same way: when the parent has a tracer
+  installed, each worker records its chunk under a fresh
+  :class:`~repro.obs.tracer.Tracer` and ships the span/event streams home
+  (worker pids keep Chrome-trace process rows separate), and the worker's
+  process-global metrics fold into the parent's global registry.
 
 ``fn`` must be a module-level (picklable) callable of signature
 ``fn(context, item) -> result`` and must not rely on shared mutable state;
@@ -29,12 +34,32 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from math import ceil
 from typing import Any, Callable, Sequence, TypeVar
 
+from ..obs.metrics import MetricsRegistry, global_registry, reset_global_registry
+from ..obs.tracer import (
+    Span,
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    install_tracer,
+    uninstall_tracer,
+)
 from .device import DeviceSpec
 from .session import SimStats, SimulationContext
 
 T = TypeVar("T")
 
 TaskFn = Callable[[SimulationContext, Any], Any]
+
+#: What one worker ships back: results, timing-cache entries, session
+#: counters, span/event streams, and the worker's process-global metrics.
+ChunkResult = tuple[
+    list[Any],
+    dict[str, Any],
+    SimStats,
+    tuple[Span, ...],
+    tuple[TraceEvent, ...],
+    MetricsRegistry,
+]
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -65,13 +90,31 @@ def _run_chunk(
     check_memory: bool,
     fn: TaskFn,
     chunk: list[Any],
-) -> tuple[list[Any], dict[str, Any], SimStats]:
+    trace: bool,
+) -> ChunkResult:
     """Worker body: evaluate one chunk against a fresh context and ship the
-    results plus the context's cache/counters back for merging."""
-    ctx = SimulationContext(device, check_memory=check_memory)
-    results = [fn(ctx, item) for item in chunk]
+    results plus the context's cache/counters (and, when tracing, the span
+    stream) back for merging.
+
+    Pool workers are reused across chunks, so the worker's process-global
+    metrics are zeroed on entry — each shipment covers exactly one chunk.
+    """
+    reset_global_registry()
+    tracer = install_tracer(Tracer(f"worker-{os.getpid()}")) if trace else None
+    try:
+        ctx = SimulationContext(device, check_memory=check_memory)
+        if tracer is None:
+            results = [fn(ctx, item) for item in chunk]
+        else:
+            with tracer.span("chunk", "parallel", items=len(chunk)):
+                results = [fn(ctx, item) for item in chunk]
+    finally:
+        if trace:
+            uninstall_tracer()
     cache, stats = ctx.export_state()
-    return results, cache, stats
+    spans = tracer.spans() if tracer is not None else ()
+    events = tracer.events() if tracer is not None else ()
+    return results, cache, stats, spans, events, global_registry()
 
 
 def parallel_map(
@@ -85,23 +128,41 @@ def parallel_map(
 
     With ``jobs`` <= 1 this is exactly the serial loop on the caller's
     context.  Otherwise chunks run in worker processes and the workers'
-    timing caches and stats are absorbed into ``context`` on join.  Both
-    paths return identical results for deterministic ``fn``.
+    timing caches, stats, metrics, and (when tracing) span streams are
+    absorbed into the parent on join.  Both paths return identical results
+    for deterministic ``fn``.
     """
     jobs = resolve_jobs(jobs)
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [fn(context, item) for item in items]
     chunks = chunk_items(items, jobs, chunk_size)
+    tracer = active_tracer()
     out: list[Any] = []
     with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-        futures: list[Future[tuple[list[Any], dict[str, Any], SimStats]]] = [
-            pool.submit(_run_chunk, context.device, context.check_memory, fn, c)
+        futures: list[Future[ChunkResult]] = [
+            pool.submit(
+                _run_chunk,
+                context.device,
+                context.check_memory,
+                fn,
+                c,
+                tracer is not None,
+            )
             for c in chunks
         ]
         # Submission order, not completion order: deterministic reassembly.
         for future in futures:
-            results, cache, stats = future.result()
+            results, cache, stats, spans, events, worker_metrics = future.result()
             context.absorb(cache, stats)
+            global_registry().merge(worker_metrics)
+            if tracer is not None:
+                tracer.absorb(spans, events)
+                tracer.event(
+                    "worker-merge",
+                    "parallel",
+                    spans=len(spans),
+                    results=len(results),
+                )
             out.extend(results)
     return out

@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field, fields, is_dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
 from hashlib import sha256
 from pathlib import Path
 from typing import Any
 
+from ..obs.metrics import MetricsRegistry, register_metrics_provider
+from ..obs.tracer import active_tracer
 from .cache import cache_sim_snapshot
 from .device import DeviceSpec
 from .kernel import ComposedKernel, KernelModel
@@ -140,28 +142,62 @@ class KindStats:
         return self.hits + self.misses
 
 
-@dataclass
+def _counter_property(metric: str, as_int: bool = True) -> property:
+    """A SimStats attribute backed by one registry counter.
+
+    Keeps the historical mutable-field interface (``stats.hits``,
+    ``stats.merged_contexts += 1``) while the registry remains the single
+    source of truth, so ``--sim-stats`` and ``--metrics`` cannot disagree.
+    """
+
+    def getter(self: "SimStats") -> int | float:
+        value = self.registry.value(metric)
+        return int(value) if as_int else value
+
+    def setter(self: "SimStats", value: float) -> None:
+        self.registry.counter(metric).value = float(value)
+
+    return property(getter, setter)
+
+
 class SimStats:
-    """Counters for one simulation session.
+    """Counters for one simulation session — a thin view over a
+    :class:`~repro.obs.metrics.MetricsRegistry`.
 
     ``misses`` is the number of kernels actually timed by the analytic
     model; ``hits`` are queries served from the structural cache (including
-    entries loaded from an on-disk cache file).
+    entries loaded from an on-disk cache file).  Every counter reads and
+    writes a ``sim.*`` metric in the backing registry, so the metrics
+    exporters and the ``--sim-stats`` report always agree; the registry
+    travels with the stats through pickling (worker merge-back).
     """
 
-    hits: int = 0
-    misses: int = 0
-    loaded_from_disk: int = 0
-    sim_wall_s: float = 0.0
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    hits = _counter_property("sim.queries.hits")
+    misses = _counter_property("sim.queries.misses")
+    loaded_from_disk = _counter_property("sim.cache.loaded_from_disk")
+    sim_wall_s = _counter_property("sim.wall_s", as_int=False)
     #: cache-model replay calls / wall seconds inside ``sim_wall_s`` (the
     #: cache-sim share of simulation time)
-    cache_sim_calls: int = 0
-    cache_sim_s: float = 0.0
+    cache_sim_calls = _counter_property("sim.cache_model.calls")
+    cache_sim_s = _counter_property("sim.cache_model.wall_s", as_int=False)
     #: worker sessions whose caches were folded into this one, and how many
     #: of their entries were new here (see ``SimulationContext.absorb``)
-    merged_contexts: int = 0
-    merged_entries: int = 0
-    by_kind: dict[str, KindStats] = field(default_factory=dict)
+    merged_contexts = _counter_property("sim.merged.contexts")
+    merged_entries = _counter_property("sim.merged.entries")
+
+    @property
+    def by_kind(self) -> dict[str, KindStats]:
+        """Per-kernel-family hit/miss counts (a snapshot view built from
+        the ``sim.kind.*`` metrics)."""
+        kinds: dict[str, KindStats] = {}
+        for name in self.registry.names("sim.kind."):
+            _, _, kind, field_name = name.split(".", 3)
+            ks = kinds.setdefault(kind, KindStats())
+            setattr(ks, field_name, int(self.registry.value(name)))
+        return kinds
 
     @property
     def kernels_timed(self) -> int:
@@ -176,43 +212,26 @@ class SimStats:
         return self.hits / self.queries if self.queries else 0.0
 
     def record_hit(self, kind: str) -> None:
-        self.hits += 1
-        self.by_kind.setdefault(kind, KindStats()).hits += 1
+        self.registry.counter("sim.queries.hits").inc()
+        self.registry.counter(f"sim.kind.{kind}.hits").inc()
 
     def record_miss(
         self, kind: str, wall_s: float, cache_calls: int = 0, cache_s: float = 0.0
     ) -> None:
-        self.misses += 1
-        self.sim_wall_s += wall_s
-        self.cache_sim_calls += cache_calls
-        self.cache_sim_s += cache_s
-        self.by_kind.setdefault(kind, KindStats()).misses += 1
+        reg = self.registry
+        reg.counter("sim.queries.misses").inc()
+        reg.counter("sim.wall_s").inc(wall_s)
+        reg.counter("sim.cache_model.calls").inc(cache_calls)
+        reg.counter("sim.cache_model.wall_s").inc(cache_s)
+        reg.counter(f"sim.kind.{kind}.misses").inc()
+        reg.histogram("sim.kernel_sim_ms").observe(wall_s * 1e3)
 
     def merge(self, other: "SimStats") -> None:
         """Fold another session's counters into this one (for aggregation)."""
-        self.hits += other.hits
-        self.misses += other.misses
-        self.loaded_from_disk += other.loaded_from_disk
-        self.sim_wall_s += other.sim_wall_s
-        self.cache_sim_calls += other.cache_sim_calls
-        self.cache_sim_s += other.cache_sim_s
-        self.merged_contexts += other.merged_contexts
-        self.merged_entries += other.merged_entries
-        for kind, ks in other.by_kind.items():
-            mine = self.by_kind.setdefault(kind, KindStats())
-            mine.hits += ks.hits
-            mine.misses += ks.misses
+        self.registry.merge(other.registry)
 
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.loaded_from_disk = 0
-        self.sim_wall_s = 0.0
-        self.cache_sim_calls = 0
-        self.cache_sim_s = 0.0
-        self.merged_contexts = 0
-        self.merged_entries = 0
-        self.by_kind.clear()
+        self.registry.reset("sim.")
 
     def summary(self) -> str:
         """Printable counter report (the CLI's ``--sim-stats`` output)."""
@@ -284,7 +303,9 @@ class SimulationContext:
         self.device = device
         self.check_memory = check_memory
         self.tensor_bytes_resident = tensor_bytes_resident
-        self.stats = SimStats()
+        #: the session's metrics; ``stats`` is the SimStats view over it
+        self.metrics = MetricsRegistry()
+        self.stats = SimStats(self.metrics)
         self.cache_path = Path(cache_path) if cache_path is not None else None
         self._cache: dict[str, KernelStats] = {}
         if self.cache_path is not None and self.cache_path.exists():
@@ -299,17 +320,57 @@ class SimulationContext:
     ) -> KernelStats:
         """Time one kernel model, serving structurally-equal repeats from
         the cache; raises :class:`GpuOutOfMemoryError` when enabled checks
-        find the workspace plus resident tensors exceed device memory."""
+        find the workspace plus resident tensors exceed device memory.
+
+        Every dispatch records a ``sim.kernel`` span on the active tracer
+        (when one is installed) carrying the kernel name, family, whether
+        the query was served from cache, and the modelled GPU time."""
         if isinstance(model, ComposedKernel):
-            seq = self.run_sequence(
-                model.kernels,
-                name=model.name,
-                check_memory=check_memory,
-                tensor_bytes_resident=tensor_bytes_resident,
-            )
-            return _collapse_sequence(seq, self.device)
+            tracer = active_tracer()
+            if tracer is None:
+                seq = self.run_sequence(
+                    model.kernels,
+                    name=model.name,
+                    check_memory=check_memory,
+                    tensor_bytes_resident=tensor_bytes_resident,
+                )
+                return _collapse_sequence(seq, self.device)
+            with tracer.span(
+                f"sim:{model.name}",
+                "sim.kernel",
+                kernel=model.name,
+                kind=_kind_of(model),
+                composed=True,
+            ) as sp:
+                seq = self.run_sequence(
+                    model.kernels,
+                    name=model.name,
+                    check_memory=check_memory,
+                    tensor_bytes_resident=tensor_bytes_resident,
+                )
+                stats = _collapse_sequence(seq, self.device)
+                sp.attrs["time_ms"] = stats.time_ms
+            return stats
         self._check_fit(model, check_memory, tensor_bytes_resident)
+        tracer = active_tracer()
+        if tracer is None:
+            return self._timed(model)
         key = structural_key(model, self.device)
+        with tracer.span(
+            f"sim:{model.name}",
+            "sim.kernel",
+            kernel=model.name,
+            kind=_kind_of(model),
+        ) as sp:
+            sp.attrs["cached"] = key in self._cache
+            stats = self._timed(model, key)
+            sp.attrs["time_ms"] = stats.time_ms
+        return stats
+
+    def _timed(self, model: KernelModel, key: str | None = None) -> KernelStats:
+        """The cache-or-time core of :meth:`run` (tracing-agnostic)."""
+        if key is None:
+            key = structural_key(model, self.device)
         hit = self._cache.get(key)
         if hit is not None:
             self.stats.record_hit(_kind_of(model))
@@ -325,6 +386,7 @@ class SimulationContext:
             cache_s=cache_s1 - cache_s0,
         )
         self._cache[key] = stats
+        self.metrics.gauge("sim.cache.entries").set(len(self._cache))
         return stats
 
     def run_sequence(
@@ -570,3 +632,12 @@ def global_sim_stats() -> SimStats:
     for ctx in _DEFAULT_CONTEXTS.values():
         total.merge(ctx.stats)
     return total
+
+
+# Fold every default session's registry into the process-wide metrics
+# aggregate, so ``--metrics`` reports the same counters ``--sim-stats``
+# prints (both read the very same Counter objects).
+register_metrics_provider(
+    "gpusim.default_contexts",
+    lambda: [ctx.metrics for ctx in _DEFAULT_CONTEXTS.values()],
+)

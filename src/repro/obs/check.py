@@ -1,0 +1,65 @@
+"""Chrome-trace schema checker: ``python -m repro.obs.check TRACE.json``.
+
+Exit status 0 when the file is a valid Chrome-trace payload (see
+:func:`repro.obs.export.validate_chrome_trace`), 1 when problems are
+found, 2 on unreadable input.  Prints a one-line digest on success so CI
+logs show what the trace contained.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from .export import validate_chrome_trace
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.check",
+        description="Validate a Chrome-trace JSON file emitted by repro.obs.",
+    )
+    parser.add_argument("trace", help="path to the trace JSON file")
+    parser.add_argument(
+        "--require-category",
+        action="append",
+        default=[],
+        metavar="CAT",
+        help="fail unless at least one event has this category (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check: cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 2
+
+    problems = validate_chrome_trace(payload)
+    events = payload.get("traceEvents", []) if isinstance(payload, dict) else []
+    categories = {
+        ev.get("cat") for ev in events if isinstance(ev, dict) and ev.get("cat")
+    }
+    for wanted in args.require_category:
+        if wanted not in categories:
+            problems.append(
+                f"no event with category {wanted!r} "
+                f"(present: {sorted(categories)})"
+            )
+    if problems:
+        for p in problems:
+            print(f"check: {p}", file=sys.stderr)
+        return 1
+    complete = sum(1 for ev in events if ev.get("ph") == "X")
+    print(
+        f"{args.trace}: valid Chrome trace — {len(events)} events "
+        f"({complete} spans), categories: {', '.join(sorted(categories))}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())
