@@ -1,20 +1,32 @@
-"""Analysis tools: Fig. 4-style sensitivity sweeps, gain attribution, and
-the ``repro lint`` static analyzer for netdefs, layout plans, and kernels."""
+"""Analysis tools: Fig. 4-style sensitivity sweeps, gain attribution, the
+``repro lint`` static analyzer for netdefs, layout plans, kernels and
+graphs, and the ``repro verify`` dataflow verification layer."""
 
 from .attribution import GainAttribution, attribute_gains
+from .dataflow import (
+    BufferInterval,
+    ContractViolation,
+    LivenessFootprint,
+    buffer_intervals,
+    check_contracts,
+    liveness_footprint,
+    verify_graph,
+    verify_network,
+)
 from .lint import (
     DEFAULT_CONFIG,
     LintConfig,
     LintReport,
     UnknownRuleError,
     iter_rules,
+    lint_graph,
     lint_kernel,
     lint_netdef,
     lint_netdef_text,
     lint_network,
     lint_plan,
 )
-from .rules import REGISTRY, Diagnostic, Finding, Rule, Severity
+from .rules import REGISTRY, Diagnostic, Finding, GraphScope, Rule, Severity
 from .sweeps import (
     SweepPoint,
     SweepResult,
@@ -25,12 +37,16 @@ from .sweeps import (
 )
 
 __all__ = [
+    "BufferInterval",
+    "ContractViolation",
     "DEFAULT_CONFIG",
     "Diagnostic",
     "Finding",
     "GainAttribution",
+    "GraphScope",
     "LintConfig",
     "LintReport",
+    "LivenessFootprint",
     "REGISTRY",
     "Rule",
     "Severity",
@@ -38,14 +54,20 @@ __all__ = [
     "SweepResult",
     "UnknownRuleError",
     "attribute_gains",
+    "buffer_intervals",
+    "check_contracts",
     "crossovers",
     "iter_rules",
+    "lint_graph",
     "lint_kernel",
     "lint_netdef",
     "lint_netdef_text",
     "lint_network",
     "lint_plan",
+    "liveness_footprint",
     "sweep_conv",
     "sweep_pool",
     "sweep_softmax",
+    "verify_graph",
+    "verify_network",
 ]

@@ -1,0 +1,73 @@
+"""Dataflow verification layer over the network-graph IR.
+
+A generic worklist framework (:mod:`.framework`) and three analyses built
+on it: abstract shape/layout interpretation (:mod:`.interp`), buffer
+liveness with the interval-based peak-memory model (:mod:`.liveness`),
+and the pass-contract invariants (:mod:`.contracts`).  :mod:`.verify`
+exposes them as :func:`verify_graph` / :func:`verify_network`, surfaced
+on the CLI as ``repro verify`` and as the ``D0xx`` rules of
+``repro lint``.
+"""
+
+from .contracts import (
+    CONTRACTS,
+    Contract,
+    ContractViolation,
+    check_contracts,
+    contract,
+)
+from .framework import (
+    ConvergenceError,
+    DataflowAnalysis,
+    DataflowResult,
+    run_analysis,
+)
+from .interp import (
+    CONFLICT,
+    LayoutPropagation,
+    check_inverse_pairs,
+    check_layout_coherence,
+    check_shapes,
+    check_structure,
+    check_transform_annotations,
+    propagate_layouts,
+)
+from .liveness import (
+    BufferInterval,
+    LivenessAnalysis,
+    LivenessFootprint,
+    buffer_intervals,
+    check_double_counts,
+    check_liveness,
+    liveness_footprint,
+)
+from .verify import verify_graph, verify_network
+
+__all__ = [
+    "CONFLICT",
+    "CONTRACTS",
+    "BufferInterval",
+    "Contract",
+    "ContractViolation",
+    "ConvergenceError",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "LayoutPropagation",
+    "LivenessAnalysis",
+    "LivenessFootprint",
+    "buffer_intervals",
+    "check_contracts",
+    "check_double_counts",
+    "check_inverse_pairs",
+    "check_layout_coherence",
+    "check_liveness",
+    "check_shapes",
+    "check_structure",
+    "check_transform_annotations",
+    "contract",
+    "liveness_footprint",
+    "propagate_layouts",
+    "run_analysis",
+    "verify_graph",
+    "verify_network",
+]

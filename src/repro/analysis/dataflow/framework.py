@@ -1,0 +1,183 @@
+"""Generic worklist dataflow over the network-graph IR.
+
+The verification layer needs several whole-graph analyses — layout
+propagation, abstract shape interpretation, buffer liveness — and all of
+them are instances of the same fixpoint schema compilers use: facts on
+nodes, a join at control-flow merges, a transfer function per node, and a
+worklist that re-propagates until nothing changes.  This module is that
+schema, specialized to :class:`repro.ir.Graph`:
+
+* a **forward** analysis pushes facts along producer→consumer edges
+  (shape/layout interpretation: "what arrives at this node?");
+* a **backward** analysis pushes facts against them (liveness: "who still
+  needs this buffer?");
+* an optional **edge transfer** refines the fact on one specific edge
+  before it joins into the consumer — that is where per-edge annotations
+  (an :class:`~repro.ir.graph.EdgeTransform`) act on the fact stream.
+
+Graphs built through :meth:`repro.ir.Graph.add` are DAGs, so one
+topological sweep converges; the worklist plus an explicit convergence
+guard keeps the framework sound on *corrupted* graphs too (forward
+references, dangling edges), which is exactly when a verifier must not
+hang or crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from ...ir.graph import Graph, GraphNode
+
+F = TypeVar("F")
+
+
+class ConvergenceError(RuntimeError):
+    """The fixpoint iteration exceeded its visit budget.
+
+    On a well-formed DAG the worklist drains in one sweep; hitting the
+    guard means the graph (or an analysis transfer function) is not
+    monotone — report it instead of spinning.
+    """
+
+
+class DataflowAnalysis(Generic[F]):
+    """One analysis: direction, lattice operations, transfer functions.
+
+    Subclasses define the fact type ``F`` and override:
+
+    * :meth:`boundary` — the fact entering the graph (forward: what the
+      network input provides; backward: what is demanded after the last
+      node);
+    * :meth:`join` — the lattice join merging facts arriving over
+      several edges;
+    * :meth:`transfer` — one node's effect on the fact;
+    * :meth:`edge_transfer` — optionally, one edge's effect (default:
+      identity), applied to the producer-side fact before the join.
+    """
+
+    name = "dataflow"
+    #: "forward" propagates producer→consumer; "backward" the reverse.
+    direction = "forward"
+
+    def boundary(self, graph: Graph) -> F:
+        raise NotImplementedError
+
+    def join(self, a: F, b: F) -> F:
+        raise NotImplementedError
+
+    def transfer(self, graph: Graph, node: GraphNode, fact: F) -> F:
+        raise NotImplementedError
+
+    def edge_transfer(
+        self, graph: Graph, producer: GraphNode, consumer: GraphNode, fact: F
+    ) -> F:
+        return fact
+
+    def equals(self, a: F, b: F) -> bool:
+        return a == b
+
+
+@dataclass
+class DataflowResult(Generic[F]):
+    """Fixpoint facts for every node, plus convergence bookkeeping.
+
+    ``in_facts``/``out_facts`` are keyed by node name and oriented along
+    the analysis direction: for a backward analysis the "in" fact is what
+    holds *after* the node in execution order.
+    """
+
+    analysis: DataflowAnalysis[F]
+    graph: Graph
+    in_facts: dict[str, F] = field(default_factory=dict)
+    out_facts: dict[str, F] = field(default_factory=dict)
+    iterations: int = 0
+
+    def fact_on_edge(self, src: str | None, dst: str) -> F:
+        """The fact flowing along one producer→consumer edge (forward
+        orientation): the producer's out fact pushed through the edge
+        transfer.  ``src=None`` is the network-input edge."""
+        graph = self.graph
+        if src is None or src not in graph.nodes:
+            return self.analysis.boundary(graph)
+        fact = self.out_facts[src]
+        if dst in graph.nodes:
+            fact = self.analysis.edge_transfer(graph, graph[src], graph[dst], fact)
+        return fact
+
+
+def _successors(graph: Graph) -> dict[str, list[str]]:
+    succ: dict[str, list[str]] = {name: [] for name in graph.nodes}
+    for node in graph:
+        for src in node.inputs:
+            if src in succ:
+                succ[src].append(node.name)
+    return succ
+
+
+def run_analysis(
+    graph: Graph,
+    analysis: DataflowAnalysis[F],
+    max_visits: int | None = None,
+) -> DataflowResult[F]:
+    """Run one analysis to fixpoint and return the per-node facts.
+
+    ``max_visits`` bounds the total number of node evaluations (default:
+    generous for a DAG — each node once per distinct predecessor change
+    plus slack); exceeding it raises :class:`ConvergenceError`.
+    """
+    order = [n.name for n in graph.topological()]
+    if analysis.direction == "backward":
+        order = order[::-1]
+    successors = _successors(graph)
+    result = DataflowResult(analysis=analysis, graph=graph)
+    budget = max_visits if max_visits is not None else 8 * len(order) + 32
+
+    def dependencies(name: str) -> list[str]:
+        node = graph[name]
+        if analysis.direction == "forward":
+            return [s for s in node.inputs if s in graph.nodes]
+        return successors[name]
+
+    def dependents(name: str) -> list[str]:
+        if analysis.direction == "forward":
+            return successors[name]
+        return [s for s in graph[name].inputs if s in graph.nodes]
+
+    worklist: list[str] = list(order)
+    queued = set(worklist)
+    visits = 0
+    while worklist:
+        visits += 1
+        if visits > budget:
+            raise ConvergenceError(
+                f"{analysis.name}: no fixpoint after {budget} node visits "
+                f"on graph {graph.name!r} ({len(graph)} nodes) — the graph "
+                "is cyclic or the transfer function is not monotone"
+            )
+        name = worklist.pop(0)
+        queued.discard(name)
+        node = graph[name]
+        fact = analysis.boundary(graph)
+        merged = False
+        for dep in dependencies(name):
+            if dep not in result.out_facts:
+                continue
+            incoming = result.out_facts[dep]
+            if analysis.direction == "forward":
+                incoming = analysis.edge_transfer(graph, graph[dep], node, incoming)
+            else:
+                incoming = analysis.edge_transfer(graph, node, graph[dep], incoming)
+            fact = analysis.join(fact, incoming) if merged else incoming
+            merged = True
+        result.in_facts[name] = fact
+        out = analysis.transfer(graph, node, fact)
+        if name in result.out_facts and analysis.equals(result.out_facts[name], out):
+            continue
+        result.out_facts[name] = out
+        for dep in dependents(name):
+            if dep not in queued:
+                worklist.append(dep)
+                queued.add(dep)
+    result.iterations = visits
+    return result

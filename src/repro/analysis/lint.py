@@ -16,11 +16,17 @@ descriptors up front:
   (:mod:`repro.analysis.rules.layout_rules`);
 * **K0xx** — kernel models against :class:`DeviceSpec` limits via the same
   :func:`~repro.gpusim.occupancy.check_launch` predicate the occupancy
-  calculator enforces (:mod:`repro.analysis.rules.kernel_rules`).
+  calculator enforces (:mod:`repro.analysis.rules.kernel_rules`);
+* **D0xx** — dataflow verification of the annotated graph IR: abstract
+  shape/layout interpretation, transform-fact consistency, and liveness
+  hazards over real producer→consumer edges
+  (:mod:`repro.analysis.rules.dataflow_rules`, backed by
+  :mod:`repro.analysis.dataflow`).
 
 Entry points: :func:`lint_netdef` / :func:`lint_plan` / :func:`lint_kernel`
-for one scope each, and :func:`lint_network` for the whole pipeline
-(definition → plan → per-step kernels → transforms).
+/ :func:`lint_graph` for one scope each, and :func:`lint_network` for the
+whole pipeline (definition → plan → graph dataflow → per-step kernels →
+transforms).
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from ..tensors.transform_kernels import make_transform_kernel
 from .rules import (
     REGISTRY,
     Diagnostic,
+    GraphScope,
     KernelScope,
     NetdefScope,
     PlanScope,
@@ -97,7 +104,7 @@ def iter_rules() -> list[Rule]:
 
 def _run_scope(
     scope_kind: str,
-    scope: NetdefScope | PlanScope | KernelScope,
+    scope: NetdefScope | PlanScope | KernelScope | GraphScope,
     config: LintConfig,
     network: str = "",
 ) -> list[Diagnostic]:
@@ -169,6 +176,21 @@ def lint_plan(
         graph=graph,
     )
     return _run_scope("plan", scope, config, network=network)
+
+
+def lint_graph(
+    graph: Graph,
+    device: DeviceSpec | None = None,
+    config: LintConfig = DEFAULT_CONFIG,
+    network: str = "",
+) -> list[Diagnostic]:
+    """Run the D0xx dataflow rules over one annotated graph IR."""
+    return _run_scope(
+        "graph",
+        GraphScope(graph=graph, device=device),
+        config,
+        network=network or graph.name,
+    )
 
 
 def lint_kernel(
@@ -304,6 +326,7 @@ def lint_network(
     report.diagnostics += lint_plan(
         device, plan, nodes, thresholds, config, network=netdef.name, graph=graph
     )
+    report.diagnostics += lint_graph(graph, device, config, network=netdef.name)
 
     specs = {n.name: n.spec for n in nodes}
     in_dims = {n.name: n.in_dims for n in nodes}

@@ -1,15 +1,17 @@
 """Rule catalog for the static analyzer.
 
 Importing this package populates :data:`REGISTRY` with every built-in rule:
-``N0xx`` network-definition checks, ``L0xx`` layout-plan checks, and
-``K0xx`` kernel/device-limit checks.
+``N0xx`` network-definition checks, ``L0xx`` layout-plan checks, ``K0xx``
+kernel/device-limit checks, and ``D0xx`` graph-dataflow checks.
 """
 
 from . import kernel_rules, layout_rules, netdef_rules  # noqa: F401  (registration)
+from . import dataflow_rules  # noqa: F401  (registration; needs base loaded)
 from .base import (
     REGISTRY,
     Diagnostic,
     Finding,
+    GraphScope,
     KernelScope,
     NetdefScope,
     PlanScope,
@@ -22,6 +24,7 @@ from .base import (
 __all__ = [
     "Diagnostic",
     "Finding",
+    "GraphScope",
     "KernelScope",
     "NetdefScope",
     "PlanScope",

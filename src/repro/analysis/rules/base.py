@@ -120,6 +120,21 @@ class PlanScope:
 
 
 @dataclass
+class GraphScope:
+    """An annotated network-graph IR under dataflow verification.
+
+    The D0xx rules run abstract shape/layout interpretation and liveness
+    analysis over the graph's real producer→consumer edges — the
+    DAG-sound generalization of the chain-walking L-rules.  ``device`` is
+    optional context for messages; the checks themselves are pure graph
+    dataflow.
+    """
+
+    graph: Graph
+    device: DeviceSpec | None = None
+
+
+@dataclass
 class KernelScope:
     """One kernel model checked against one device's limits."""
 
@@ -146,12 +161,12 @@ class KernelScope:
         return self._profile
 
 
-Scope = NetdefScope | PlanScope | KernelScope
+Scope = NetdefScope | PlanScope | KernelScope | GraphScope
 
 CheckFn = Callable[[Any], Iterable[Finding]]
 
-_SCOPE_OF_PREFIX = {"N": "netdef", "L": "plan", "K": "kernel"}
-_ID_PATTERN = re.compile(r"^[NLK]\d{3}$")
+_SCOPE_OF_PREFIX = {"N": "netdef", "L": "plan", "K": "kernel", "D": "graph"}
+_ID_PATTERN = re.compile(r"^[NLKD]\d{3}$")
 
 
 @dataclass(frozen=True)
@@ -183,7 +198,7 @@ def rule(
 ) -> Callable[[CheckFn], CheckFn]:
     """Register a check function under a stable rule ID."""
     if not _ID_PATTERN.match(rule_id):
-        raise ValueError(f"rule id {rule_id!r} must match N/L/K + 3 digits")
+        raise ValueError(f"rule id {rule_id!r} must match N/L/K/D + 3 digits")
     if rule_id in REGISTRY:
         raise ValueError(f"duplicate rule id {rule_id}")
 

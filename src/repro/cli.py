@@ -1,5 +1,5 @@
 """Command-line interface:
-``repro {info,calibrate,plan,bench,profile,inspect,footprint,lint,transform}``.
+``repro {info,calibrate,plan,bench,profile,inspect,footprint,lint,verify,transform}``.
 
 Examples::
 
@@ -13,6 +13,9 @@ Examples::
     repro inspect --layer CV7 --verbose
     repro footprint --network vgg --training
     repro lint --network alexnet --format json
+    repro verify alexnet --strategy optimal
+    repro verify --graph plan.json
+    repro plan --network alexnet --verify
     repro transform --n 64 --c 96 --hw 55
 
 ``--trace``/``--jsonl``/``--metrics`` (on ``plan``, ``sweep``,
@@ -140,13 +143,19 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 def _cmd_plan(args: argparse.Namespace) -> int:
     import json
 
-    from .core.pipeline import PipelineOptions, plan_network
+    from .core.pipeline import PassContractError, PipelineOptions, plan_network
 
     device = get_device(args.device)
     netdef = build_network(args.network, batch=args.batch)
-    result = plan_network(
-        device, netdef, PipelineOptions(strategy=args.strategy)
-    )
+    try:
+        result = plan_network(
+            device,
+            netdef,
+            PipelineOptions(strategy=args.strategy, verify=args.verify),
+        )
+    except PassContractError as exc:
+        print(f"plan: {exc}", file=sys.stderr)
+        return 1
     plan = result.plan
     if args.format == "json":
         payload = {
@@ -445,6 +454,111 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import LintConfig, UnknownRuleError, iter_rules
+    from .analysis.dataflow import liveness_footprint, verify_graph, verify_network
+    from .analysis.lint import LintReport
+    from .core.pipeline import PassContractError
+    from .ir.graph import Graph
+
+    if args.list_rules:
+        for r in iter_rules():
+            if r.id.startswith("D"):
+                print(f"{r.id}  {r.severity.value:7s}  {r.summary}")
+        return 0
+
+    try:
+        config = LintConfig(
+            disabled=_parse_rule_ids(args.disable),
+            selected=_parse_rule_ids(args.select) or None,
+        )
+    except UnknownRuleError as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return 2
+
+    device = get_device(args.device)
+    results: list[tuple[LintReport, object | None]] = []
+
+    if args.graph:
+        try:
+            with open(args.graph, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"verify: cannot read {args.graph}: {exc}", file=sys.stderr)
+            return 2
+        # Accept both a bare graph dump and the `repro plan --format json`
+        # payload (whose graph lives under the "graph" key).
+        if isinstance(payload, dict) and "nodes" not in payload:
+            payload = payload.get("graph", payload)
+        try:
+            graph = Graph.from_json(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            print(f"verify: malformed graph {args.graph}: {exc}", file=sys.stderr)
+            return 2
+        report = LintReport(
+            target=args.graph, device=device.name, strategy="graph"
+        )
+        report.diagnostics = verify_graph(graph, device, config)
+        footprint = None
+        if not report.errors:
+            # A structurally broken graph has no well-defined liveness.
+            footprint = liveness_footprint(graph, training=args.training)
+        results.append((report, footprint))
+    else:
+        names = [args.network] if args.network else sorted(NETWORK_BUILDERS)
+        for name in names:
+            netdef = build_network(name, batch=args.batch)
+            try:
+                report, footprint = verify_network(
+                    device,
+                    netdef,
+                    strategy=args.strategy,
+                    config=config,
+                    training=args.training,
+                )
+            except PassContractError as exc:
+                print(f"verify: {name}: {exc}", file=sys.stderr)
+                return 1
+            results.append((report, footprint))
+
+    failed = any(r.failed(strict=args.strict) for r, _ in results)
+    if args.format == "json":
+        payload = {
+            "device": device.name,
+            "strict": args.strict,
+            "failed": failed,
+            "reports": [
+                {
+                    **report.to_dict(),
+                    "footprint": (
+                        {
+                            "peak_bytes": fp.peak_bytes,
+                            "peak_step": fp.peak_step,
+                            "weights_bytes": fp.weights_bytes,
+                            "curve": [
+                                {"step": name, "bytes": nbytes}
+                                for name, nbytes in fp.curve
+                            ],
+                        }
+                        if fp is not None
+                        else None
+                    ),
+                }
+                for report, fp in results
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for report, fp in results:
+            print(report.render_text())
+            if fp is not None:
+                print(fp.summary())
+            print()
+    return 1 if failed else 0
+
+
 def _cmd_transform(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     desc = TensorDesc(args.n, args.c, args.hw, args.hw, CHWN)
@@ -488,6 +602,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--explain", action="store_true",
                    help="print the pass pipeline's per-pass timing and stats")
+    p.add_argument("--verify", action="store_true",
+                   help="check each pass's declared contracts on its output "
+                   "graph; a violation names the offending pass and exits 1")
 
     p = sub.add_parser(
         "profile",
@@ -550,6 +667,31 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
 
+    p = sub.add_parser(
+        "verify",
+        help="dataflow verification: abstract interpretation, liveness, "
+        "and pass contracts over the planned graph",
+    )
+    _add_device(p)
+    p.add_argument("network", nargs="?", choices=sorted(NETWORK_BUILDERS),
+                   help="verify one bundled network (default: all)")
+    p.add_argument("--graph", metavar="FILE",
+                   help="verify a serialized graph JSON (bare Graph.to_json "
+                   "dump or a `repro plan --format json` payload) instead")
+    p.add_argument("--batch", type=int, default=None)
+    p.add_argument("--strategy", choices=("heuristic", "optimal"), default="optimal")
+    p.add_argument("--training", action="store_true",
+                   help="liveness model with backward-pass residency")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--strict", action="store_true",
+                   help="warnings also cause a nonzero exit")
+    p.add_argument("--disable", action="append", metavar="IDS",
+                   help="comma-separated rule IDs to skip (repeatable)")
+    p.add_argument("--select", action="append", metavar="IDS",
+                   help="run only these comma-separated rule IDs (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the D-rule catalog and exit")
+
     p = sub.add_parser("transform", help="compare layout-transform kernels")
     _add_device(p)
     p.add_argument("--n", type=int, default=64)
@@ -572,6 +714,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "inspect": _cmd_inspect,
         "footprint": _cmd_footprint,
         "lint": _cmd_lint,
+        "verify": _cmd_verify,
         "transform": _cmd_transform,
     }
     trace_path = getattr(args, "trace", None)

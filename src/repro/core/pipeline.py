@@ -69,6 +69,7 @@ from .planner import (
 __all__ = [
     "FusionPattern",
     "PassContext",
+    "PassContractError",
     "PassManager",
     "PassTrace",
     "PipelineOptions",
@@ -93,6 +94,11 @@ class PipelineOptions:
     thresholds: LayoutThresholds | None = None
     eliminate_redundant: bool = True
     fusion_patterns: tuple[str, ...] = ("softmax-fuse",)
+    #: run each pass's declared contracts on its output graph and raise
+    #: :class:`PassContractError` attributing the first violation to the
+    #: offending pass.  Verification is observational: the planned result
+    #: is byte-identical with it on or off.
+    verify: bool = False
 
     def strategy_name(self) -> str:
         if self.strategy == "single":
@@ -121,14 +127,44 @@ class PassTrace:
     stats: dict[str, object] = field(default_factory=dict)
 
 
+class PassContractError(RuntimeError):
+    """A pass produced a graph violating an invariant it declared.
+
+    ``pass_name`` attributes the failure to the offending pass;
+    ``violations`` holds the
+    :class:`~repro.analysis.dataflow.contracts.ContractViolation` records
+    the checker collected for it.
+    """
+
+    def __init__(self, pass_name: str, violations: Sequence[object]) -> None:
+        self.pass_name = pass_name
+        self.violations = tuple(violations)
+        lines = [
+            f"pass {pass_name!r} violated its contracts "
+            f"({len(self.violations)} finding(s)):"
+        ]
+        lines += [f"  {v.format()}" for v in self.violations]  # type: ignore[attr-defined]
+        super().__init__("\n".join(lines))
+
+
 class Pass:
     """A named graph transformation.  Subclasses mutate and return the
-    graph; anything worth reporting goes into ``self.stats``."""
+    graph; anything worth reporting goes into ``self.stats``.
+
+    ``contracts`` names the invariants (see
+    :mod:`repro.analysis.dataflow.contracts`) that must hold on the
+    graph this pass returns; the verifying :class:`PassManager` checks
+    them after the pass runs.  A pass that conditionally skips work may
+    prune ``self.contracts`` inside :meth:`run`.
+    """
 
     name = "pass"
+    #: invariant names guaranteed on this pass's output graph
+    default_contracts: tuple[str, ...] = ("structure",)
 
     def __init__(self) -> None:
         self.stats: dict[str, object] = {}
+        self.contracts: tuple[str, ...] = self.default_contracts
 
     def run(self, graph: Graph, ctx: PassContext) -> Graph:
         raise NotImplementedError
@@ -143,10 +179,16 @@ class PassManager:
     ``pipeline.pass`` span whose attributes carry the pass's stats.  The
     trace is available from every caller (``repro plan --trace``), not
     just the ``--explain`` table.
+
+    With ``verify=True`` each pass's declared contracts are checked on
+    its output graph and the first violation raises
+    :class:`PassContractError` naming that pass — a compiler-style
+    "verify between passes" mode (``repro plan --verify``).
     """
 
-    def __init__(self, passes: Sequence[Pass]) -> None:
+    def __init__(self, passes: Sequence[Pass], verify: bool = False) -> None:
         self.passes = list(passes)
+        self.verify = verify
 
     def run(self, graph: Graph, ctx: PassContext) -> tuple[Graph, tuple[PassTrace, ...]]:
         registry = global_registry()
@@ -172,7 +214,19 @@ class PassManager:
                     stats=dict(p.stats),
                 )
             )
+            if self.verify and p.contracts:
+                self._check(graph, p)
         return graph, tuple(traces)
+
+    @staticmethod
+    def _check(graph: Graph, p: Pass) -> None:
+        # Imported lazily: the analysis layer depends on this module, so
+        # the contract checker cannot be a module-level import here.
+        from ..analysis.dataflow.contracts import check_contracts
+
+        violations = check_contracts(graph, p.contracts, pass_name=p.name)
+        if violations:
+            raise PassContractError(p.name, violations)
 
 
 def _attr_safe(value: object) -> object:
@@ -288,6 +342,7 @@ class ResolveShapes(Pass):
     """
 
     name = "ResolveShapes"
+    default_contracts = ("structure", "shapes")
 
     def run(self, graph: Graph, ctx: PassContext) -> Graph:
         if len(graph) and all(n.defn is not None for n in graph):
@@ -327,6 +382,7 @@ class AssignLayouts(Pass):
     """
 
     name = "AssignLayouts"
+    default_contracts = ("structure", "shapes", "layouts-assigned")
 
     def run(self, graph: Graph, ctx: PassContext) -> Graph:
         opts = ctx.options
@@ -574,6 +630,9 @@ class InsertTransforms(Pass):
     disagree, priced by the transform kernel model."""
 
     name = "InsertTransforms"
+    default_contracts = (
+        "structure", "shapes", "layouts-assigned", "layout-coherent",
+    )
 
     def run(self, graph: Graph, ctx: PassContext) -> Graph:
         count, total = _insert_transforms(graph, ctx.device)
@@ -595,10 +654,18 @@ class EliminateRedundantTransforms(Pass):
     """
 
     name = "EliminateRedundantTransforms"
+    default_contracts = (
+        "structure", "shapes", "layouts-assigned", "layout-coherent",
+        "no-inverse-pairs",
+    )
 
     def run(self, graph: Graph, ctx: PassContext) -> Graph:
         if not ctx.options.eliminate_redundant:
             self.stats["skipped"] = True
+            # A skipped elimination guarantees nothing beyond its input.
+            self.contracts = tuple(
+                c for c in self.contracts if c != "no-inverse-pairs"
+            )
             return graph
         before_ms = sum(n.transform_ms for n in graph)
         consumers = _consumers_map(graph)
@@ -718,6 +785,9 @@ class FuseKernels(Pass):
     """Apply the enabled fusion patterns, first match claiming each node."""
 
     name = "FuseKernels"
+    default_contracts = (
+        "structure", "shapes", "layouts-assigned", "layout-coherent",
+    )
 
     def run(self, graph: Graph, ctx: PassContext) -> Graph:
         matched: dict[str, int] = {}
@@ -741,6 +811,9 @@ class SelectImplementations(Pass):
     """Bind each node to the fastest implementation under its layout."""
 
     name = "SelectImplementations"
+    default_contracts = (
+        "structure", "shapes", "layouts-assigned", "layout-coherent",
+    )
 
     def run(self, graph: Graph, ctx: PassContext) -> Graph:
         histogram: dict[str, int] = {}
@@ -838,7 +911,10 @@ def run_pipeline(
         return PipelineResult(graph=graph, plan=plan, trace=())
     engine = (context or default_context(device)).engine(check_memory=False)
     ctx = PassContext(device=device, options=options, engine=engine)
-    manager = PassManager(passes if passes is not None else default_passes())
+    manager = PassManager(
+        passes if passes is not None else default_passes(),
+        verify=options.verify,
+    )
     with obs_span(
         "run_pipeline",
         "pipeline",

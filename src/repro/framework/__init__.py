@@ -10,6 +10,7 @@ from .annotate import (
 )
 from .memory import (
     MemoryFootprint,
+    PlanMismatchError,
     format_footprint,
     network_footprint,
     plan_within_memory,
@@ -32,6 +33,7 @@ __all__ = [
     "ConvDef",
     "LayerAnnotation",
     "MemoryFootprint",
+    "PlanMismatchError",
     "annotations_from_plan",
     "format_annotated_netdef",
     "format_footprint",

@@ -21,9 +21,44 @@ from ..core.planner import LayoutPlan, NodeKind
 from ..gpusim.device import DeviceSpec
 from ..gpusim.session import SimulationContext
 from ..layers.base import ConvSpec, FCSpec, SoftmaxSpec
-from ..layers.conv_kernels import make_conv_kernel
+from ..layers.conv_kernels import ConvUnsupportedError, make_conv_kernel
 from ..tensors.tensor import TensorDesc
 from .net import Net
+
+
+class PlanMismatchError(ValueError):
+    """The plan's steps do not cover the network's layers one-to-one.
+
+    Footprint accounting pairs each layer with its plan step by name; a
+    plan produced for a different network (or a DAG-shaped plan whose
+    step order diverges from the layer list) would silently mis-attribute
+    workspaces and transforms, so the mismatch is diagnosed up front.
+    """
+
+
+def _check_plan_alignment(net: Net, plan: LayoutPlan) -> None:
+    layer_names = [layer.name for layer in net.layers]
+    step_names = [s.name for s in plan.steps]
+    if step_names == layer_names:
+        return
+    missing = [n for n in layer_names if n not in set(step_names)]
+    extra = [n for n in step_names if n not in set(layer_names)]
+    if missing or extra:
+        detail = []
+        if missing:
+            detail.append(f"layers without a plan step: {', '.join(missing)}")
+        if extra:
+            detail.append(f"plan steps without a layer: {', '.join(extra)}")
+        reason = "; ".join(detail)
+    else:
+        reason = (
+            "same names but different order — the plan does not follow the "
+            f"layer sequence (plan: {', '.join(step_names)})"
+        )
+    raise PlanMismatchError(
+        f"plan {plan.strategy!r} does not match network "
+        f"{net.definition.name!r}: {reason}"
+    )
 
 
 @dataclass(frozen=True)
@@ -79,7 +114,13 @@ def network_footprint(
     Without a plan, the conservative NCHW/im2col path is assumed for the
     workspace.  Training doubles the activation residency (gradients mirror
     every activation) and triples weight residency (gradient + momentum).
+
+    Raises :class:`PlanMismatchError` when the plan's steps do not pair
+    one-to-one, in order, with the network's layers — the accounting below
+    keys workspaces and transform scratch by that pairing.
     """
+    if plan is not None:
+        _check_plan_alignment(net, plan)
     input_bytes = 4 * (
         net.definition.batch
         * net.definition.in_channels
@@ -100,12 +141,17 @@ def network_footprint(
             try:
                 kernel = make_conv_kernel(layer.spec, impl)
                 workspace = max(workspace, int(kernel.workspace_bytes()))
-            except Exception:
-                pass  # unsupported impl cannot be in a valid plan anyway
+            except ConvUnsupportedError:
+                # The spec can't run under this implementation (e.g. FFT
+                # with stride > 1) — it contributes no workspace.  Any
+                # other failure is a real bug and must propagate.
+                pass
 
     transform = 0
     if plan is not None:
-        for step, layer in zip(plan.steps, net.layers):
+        layers = {layer.name: layer for layer in net.layers}
+        for step in plan.steps:
+            layer = layers[step.name]
             if step.transform_ms > 0 and layer.in_dims is not None:
                 # The transform's scratch is the destination buffer, the
                 # same size as the tensor being relaid (freed right after).

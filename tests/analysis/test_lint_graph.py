@@ -6,6 +6,8 @@ walk would misfire on branching networks (a branch's neighbour in step
 order is not its producer).
 """
 
+from hypothesis import given, settings
+
 from repro.analysis import Severity, lint_plan
 from repro.core.pipeline import PipelineOptions, plan_network
 from repro.core.planner import LayoutPlan
@@ -13,6 +15,8 @@ from repro.gpusim import TITAN_BLACK
 from repro.ir.graph import EdgeTransform, Graph, GraphNode, NodeKind
 from repro.networks import build_network
 from repro.tensors import CHWN, NCHW
+
+from tests.analysis.graph_strategies import annotated_graphs
 
 EMPTY_PLAN = LayoutPlan(steps=(), device=TITAN_BLACK.name, strategy="test")
 
@@ -109,6 +113,22 @@ class TestGraphRedundantTransforms:
         )
         diags = lint_plan(TITAN_BLACK, EMPTY_PLAN, graph=g)
         assert "L002" not in ids_of(diags)
+
+
+class TestRandomCoherentGraphs:
+    """The shared DAG generator draws transform-coherent graphs, so the
+    edge-walking L-rules must never error on them (same generator as the
+    dataflow verifier's property tests — one source of truth)."""
+
+    @given(annotated_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_edge_rules_silent_on_coherent_dags(self, graph):
+        errors = [
+            d
+            for d in lint_plan(TITAN_BLACK, EMPTY_PLAN, graph=graph)
+            if d.severity is Severity.ERROR
+        ]
+        assert errors == [], [d.format() for d in errors]
 
 
 class TestPipelineOutputIsClean:

@@ -6,6 +6,7 @@ from repro.core import plan_optimal
 from repro.framework import Net
 from repro.framework.memory import (
     MemoryFootprint,
+    PlanMismatchError,
     format_footprint,
     network_footprint,
     plan_within_memory,
@@ -61,6 +62,66 @@ class TestFootprint:
         net, plan = alexnet_plan
         text = format_footprint(network_footprint(net, plan))
         assert "MiB" in text and "%" in text
+
+
+class TestPlanAlignment:
+    """The footprint pairs steps with layers by name and says so when it
+    can't, instead of silently zipping mismatched sequences."""
+
+    def test_plan_for_another_network_is_rejected(self, alexnet_plan, device):
+        lenet = Net(build_network("lenet"))
+        _, alex_plan = alexnet_plan
+        with pytest.raises(PlanMismatchError, match="does not match network"):
+            network_footprint(lenet, alex_plan)
+
+    def test_message_names_the_unmatched_steps(self, alexnet_plan, device):
+        lenet = Net(build_network("lenet"))
+        _, alex_plan = alexnet_plan
+        with pytest.raises(PlanMismatchError) as exc:
+            network_footprint(lenet, alex_plan)
+        assert "conv3" in str(exc.value)  # alexnet step with no lenet layer
+
+    def test_reordered_steps_are_rejected(self, device):
+        from dataclasses import replace
+
+        net = Net(build_network("lenet"))
+        plan = plan_optimal(device, net.planner_nodes(device))
+        shuffled = replace(plan, steps=tuple(reversed(plan.steps)))
+        with pytest.raises(PlanMismatchError, match="different order"):
+            network_footprint(net, shuffled)
+
+    def test_unsupported_conv_impl_contributes_no_workspace(self, device):
+        """FFT rejects stride>1 specs with ConvUnsupportedError; the
+        footprint skips exactly that error rather than swallowing all."""
+        net = Net(build_network("alexnet"))
+        plan = plan_optimal(device, net.planner_nodes(device))
+        # conv1 has stride 4: FFT refuses it with ConvUnsupportedError
+        from dataclasses import replace as _replace
+
+        steps = tuple(
+            _replace(s, implementation="fft")
+            if s.name == "conv1"
+            else s
+            for s in plan.steps
+        )
+        fp = network_footprint(net, _replace(plan, steps=steps))
+        assert fp.peak_bytes > 0  # computed, no exception
+
+    def test_unknown_conv_impl_raises(self, device):
+        """A plan naming a nonexistent implementation is a real bug and
+        must propagate, not be silently zeroed."""
+        from dataclasses import replace as _replace
+
+        net = Net(build_network("lenet"))
+        plan = plan_optimal(device, net.planner_nodes(device))
+        steps = tuple(
+            _replace(s, implementation="no-such-impl")
+            if s.kind.value == "conv"
+            else s
+            for s in plan.steps
+        )
+        with pytest.raises(ValueError, match="no-such-impl"):
+            network_footprint(net, _replace(plan, steps=steps))
 
 
 class TestMemoryAwarePlanning:
