@@ -11,7 +11,8 @@ from dataclasses import replace
 from figutil import FigureTable, bench_arg_parser
 
 from repro.gpusim import SimulationContext, default_context
-from repro.gpusim.parallel import parallel_map
+from repro.gpusim.batch import batched_eval_enabled, evaluate_models
+from repro.gpusim.parallel import chunk_items, parallel_map, resolve_jobs
 from repro.layers import DirectConvCHWN, Im2colGemmNCHW
 from repro.networks import CONV_LAYERS
 
@@ -20,9 +21,39 @@ C_VALUES = (16, 32, 64, 128, 256)
 
 
 def _gflops_pair(context: SimulationContext, spec) -> tuple[float, float]:
+    """Scalar reference: one sweep point, two kernel evaluations."""
     g_c = context.run(DirectConvCHWN(spec), check_memory=False).achieved_gflops
     g_m = context.run(Im2colGemmNCHW(spec), check_memory=False).achieved_gflops
     return g_c, g_m
+
+
+def _gflops_chunk(context: SimulationContext, specs) -> list[tuple[float, float]]:
+    """Batched ``_gflops_pair``: both layouts of every point in one
+    vectorized evaluation."""
+    models = []
+    for spec in specs:
+        models.append(DirectConvCHWN(spec))
+        models.append(Im2colGemmNCHW(spec))
+    outcomes = evaluate_models(context, models, check_memory=False)
+    pairs = []
+    for i in range(len(specs)):
+        g_c, g_m = outcomes[2 * i], outcomes[2 * i + 1]
+        if isinstance(g_c, Exception):
+            raise g_c
+        if isinstance(g_m, Exception):
+            raise g_m
+        pairs.append((g_c.achieved_gflops, g_m.achieved_gflops))
+    return pairs
+
+
+def _gflops_pairs(
+    ctx: SimulationContext, specs, jobs: int
+) -> list[tuple[float, float]]:
+    if batched_eval_enabled():
+        chunks = chunk_items(specs, resolve_jobs(jobs))
+        nested = parallel_map(_gflops_chunk, chunks, ctx, jobs=jobs)
+        return [p for chunk in nested for p in chunk]
+    return parallel_map(_gflops_pair, specs, ctx, jobs=jobs)
 
 
 def build_figure(
@@ -35,9 +66,7 @@ def build_figure(
         "Fig. 4a: CONV7 GFLOPS vs batch size N",
         ["N", "convnet_gflops", "cudnn_gflops", "winner"],
     )
-    n_pairs = parallel_map(
-        _gflops_pair, [replace(base, n=n) for n in N_VALUES], ctx, jobs=jobs
-    )
+    n_pairs = _gflops_pairs(ctx, [replace(base, n=n) for n in N_VALUES], jobs)
     for n, (g_c, g_m) in zip(N_VALUES, n_pairs):
         fig4a.add(n, g_c, g_m, "CHWN" if g_c > g_m else "NCHW")
 
@@ -45,9 +74,7 @@ def build_figure(
         "Fig. 4b: CONV7 GFLOPS vs channel count C (N=64)",
         ["C", "convnet_gflops", "cudnn_gflops", "winner"],
     )
-    c_pairs = parallel_map(
-        _gflops_pair, [replace(base, ci=c) for c in C_VALUES], ctx, jobs=jobs
-    )
+    c_pairs = _gflops_pairs(ctx, [replace(base, ci=c) for c in C_VALUES], jobs)
     for c, (g_c, g_m) in zip(C_VALUES, c_pairs):
         fig4b.add(c, g_c, g_m, "CHWN" if g_c > g_m else "NCHW")
     fig4b.note("paper: crossover at C = 32 (Ct); 4a crossover N in (64, 128]")

@@ -10,7 +10,8 @@ from __future__ import annotations
 from figutil import FigureTable, bench_arg_parser, geomean
 
 from repro.gpusim import SimulationContext, default_context
-from repro.gpusim.parallel import parallel_map
+from repro.gpusim.batch import batched_eval_enabled, evaluate_models
+from repro.gpusim.parallel import chunk_items, parallel_map, resolve_jobs
 from repro.layers import make_pool_kernel
 from repro.networks import POOL_LAYERS
 
@@ -23,8 +24,29 @@ def effective_bw(spec, time_ms: float) -> float:
 
 
 def _time_cell(context: SimulationContext, task) -> float:
+    """Scalar reference: one pooling layout evaluated on its own."""
     name, spec, impl = task
     return context.run(make_pool_kernel(spec, impl), check_memory=False).time_ms
+
+
+def _time_chunk(context: SimulationContext, tasks) -> list[float]:
+    """Batched ``_time_cell``: every layout in the chunk priced in one
+    vectorized evaluation."""
+    models = [make_pool_kernel(spec, impl) for _, spec, impl in tasks]
+    times = []
+    for out in evaluate_models(context, models, check_memory=False):
+        if isinstance(out, Exception):
+            raise out
+        times.append(out.time_ms)
+    return times
+
+
+def _cell_times(ctx: SimulationContext, tasks, jobs: int) -> list[float]:
+    if batched_eval_enabled():
+        chunks = chunk_items(tasks, resolve_jobs(jobs))
+        nested = parallel_map(_time_chunk, chunks, ctx, jobs=jobs)
+        return [t for chunk in nested for t in chunk]
+    return parallel_map(_time_cell, tasks, ctx, jobs=jobs)
 
 
 def build_figure(device, jobs: int = 1, context: SimulationContext | None = None) -> FigureTable:
@@ -39,7 +61,7 @@ def build_figure(device, jobs: int = 1, context: SimulationContext | None = None
         for name, spec in POOL_LAYERS.items()
         for impl in _IMPLS
     ]
-    times = parallel_map(_time_cell, tasks, ctx, jobs=jobs)
+    times = _cell_times(ctx, tasks, jobs)
     grid = dict(zip([(t[0], t[2]) for t in tasks], times))
     for name, spec in POOL_LAYERS.items():
         t_conv = grid[(name, "chwn")]

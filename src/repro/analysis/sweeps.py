@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any
 
+from ..gpusim.batch import batched_eval_enabled, evaluate_models
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import GpuOutOfMemoryError
-from ..gpusim.parallel import parallel_map
+from ..gpusim.parallel import chunk_items, parallel_map, resolve_jobs
 from ..gpusim.session import SimulationContext, default_context
 from ..obs.tracer import span as obs_span
 from ..layers.base import ConvSpec, PoolSpec, SoftmaxSpec
@@ -98,6 +99,7 @@ def _cell_kernel(cell: _Cell) -> Any:
 
 
 def _eval_cell(context: SimulationContext, cell: _Cell) -> SweepPoint:
+    """Scalar reference: time one cell through ``context.run``."""
     try:
         stats = context.run(_cell_kernel(cell), check_memory=cell.check_memory)
     except (ConvUnsupportedError, GpuOutOfMemoryError, ValueError):
@@ -105,6 +107,38 @@ def _eval_cell(context: SimulationContext, cell: _Cell) -> SweepPoint:
     return SweepPoint(
         cell.value, cell.implementation, stats.time_ms, stats.achieved_gflops
     )
+
+
+def _eval_cells(context: SimulationContext, cells: list[_Cell]) -> list[SweepPoint]:
+    """Batched path: one vectorized evaluation per chunk of cells.
+
+    Kernel-construction failures (unsupported shapes) and per-candidate
+    evaluation failures (OOM, launch validation) become the same failed
+    points the scalar loop produces.
+    """
+    points: list[SweepPoint | None] = [None] * len(cells)
+    models = []
+    owners = []
+    for i, cell in enumerate(cells):
+        try:
+            models.append(_cell_kernel(cell))
+        except (ConvUnsupportedError, ValueError):
+            points[i] = SweepPoint(cell.value, cell.implementation, None, None)
+            continue
+        owners.append(i)
+    check_memory = cells[0].check_memory if cells else False
+    for i, outcome in zip(owners, evaluate_models(context, models, check_memory)):
+        cell = cells[i]
+        if isinstance(outcome, Exception):
+            points[i] = SweepPoint(cell.value, cell.implementation, None, None)
+        else:
+            points[i] = SweepPoint(
+                cell.value,
+                cell.implementation,
+                outcome.time_ms,
+                outcome.achieved_gflops,
+            )
+    return [p for p in points if p is not None]
 
 
 def _run_grid(
@@ -131,7 +165,14 @@ def _run_grid(
         implementations=list(implementations),
         jobs=jobs or 1,
     ):
-        points = parallel_map(_eval_cell, cells, context, jobs=jobs)
+        if batched_eval_enabled():
+            # Chunks evaluate as batches: a serial run is one vectorized
+            # evaluation, a --jobs run gives each worker one batch.
+            chunks = chunk_items(cells, resolve_jobs(jobs))
+            point_lists = parallel_map(_eval_cells, chunks, context, jobs=jobs)
+            points = [p for chunk in point_lists for p in chunk]
+        else:
+            points = parallel_map(_eval_cell, cells, context, jobs=jobs)
     return SweepResult(
         dimension=dimension,
         values=tuple(values),

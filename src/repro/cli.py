@@ -208,6 +208,36 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batched_eval_digest() -> str | None:
+    """Summarize the vectorized evaluator's work, if any ran.
+
+    Surfaces the ``batch.eval.*`` metrics next to the span digest so
+    ``repro profile`` shows how many candidates went through the batched
+    path (and how many fell back to the scalar evaluator); ``repro.obs``
+    smoke checks gate on the same category.
+    """
+    from .obs.metrics import aggregate_metrics
+
+    metrics = aggregate_metrics()
+    batches = metrics.value("batch.eval.batches")
+    if not batches:
+        return None
+    candidates = metrics.value("batch.eval.candidates")
+    sizes = metrics.histogram("batch.eval.size").summary()
+    fallbacks = sum(
+        metrics.value(name) for name in metrics.names("batch.eval.fallback.")
+    )
+    lines = [
+        "batched evaluation:",
+        f"  batches            {int(batches)}",
+        f"  candidates         {int(candidates)}",
+        f"  batch size         p50={sizes.get('p50', 0):.0f} "
+        f"max={sizes.get('max', 0):.0f}",
+        f"  scalar fallbacks   {int(fallbacks)}",
+    ]
+    return "\n".join(lines)
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .core.pipeline import PipelineOptions, plan_network
 
@@ -233,6 +263,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if tracer is not None:
         print()
         print(summarize_spans(tracer.spans()))
+    digest = _batched_eval_digest()
+    if digest is not None:
+        print()
+        print(digest)
     return 0
 
 

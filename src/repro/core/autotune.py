@@ -15,10 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..gpusim.batch import batched_eval_enabled, evaluate_models
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import SimulationEngine
-from ..gpusim.parallel import parallel_map
+from ..gpusim.parallel import chunk_items, parallel_map, resolve_jobs
 from ..gpusim.session import SimulationContext, default_context
+from ..gpusim.timing import KernelStats
 from ..layers.base import PoolSpec
 from ..layers.pooling_kernels import PoolingCHWN, PoolingCoarsenedCHWN
 
@@ -110,6 +112,100 @@ def _tune_task(
     )
 
 
+@dataclass
+class _ClimbState:
+    """One spec's position in the lockstep hill-climb."""
+
+    spec: PoolSpec
+    max_factor: int
+    trace: list[tuple[int, int, float]]
+    baseline: float = 0.0
+    best_u: tuple[int, int] = (1, 1)
+    best_t: float = 0.0
+    improving: bool = False
+
+
+def _batch_times(
+    context: SimulationContext, requests: list[tuple[PoolSpec, tuple[int, int]]]
+) -> list[float]:
+    """Vectorized ``_time`` over (spec, (ux, uy)) pairs."""
+    models = [
+        PoolingCHWN(spec) if u == (1, 1) else PoolingCoarsenedCHWN(spec, ux=u[0], uy=u[1])
+        for spec, u in requests
+    ]
+    times = []
+    for outcome in evaluate_models(context, models, check_memory=False):
+        if isinstance(outcome, Exception):
+            raise outcome
+        assert isinstance(outcome, KernelStats)
+        times.append(outcome.time_ms)
+    return times
+
+
+def _tune_chunk(
+    context: SimulationContext, tasks: list[tuple[PoolSpec, int, int]]
+) -> list[TuneResult]:
+    """Tune a chunk of pooling layers in lockstep.
+
+    Each hill-climb is sequential, but at every step all chunk members'
+    pending evaluations batch into one vectorized call.  The per-spec
+    evaluation order — baseline, start, then (ux, uy) proposals per round —
+    matches :func:`autotune_pooling` exactly, so traces and results are
+    identical to the scalar tuner.
+    """
+    for _, max_factor, initial in tasks:
+        if max_factor < 1 or initial < 1:
+            raise ValueError("factors must be at least 1")
+
+    states = [_ClimbState(spec, max_factor, []) for spec, max_factor, _ in tasks]
+    baselines = _batch_times(context, [(s.spec, (1, 1)) for s in states])
+    for state, t in zip(states, baselines):
+        state.baseline = state.best_t = t
+        state.trace.append((1, 1, t))
+
+    starts = _batch_times(
+        context, [(s.spec, (initial, initial)) for s, (_, _, initial) in zip(states, tasks)]
+    )
+    active: list[_ClimbState] = []
+    for state, (_, _, initial), t in zip(states, tasks, starts):
+        state.trace.append((initial, initial, t))
+        if t < state.best_t:
+            state.best_u, state.best_t = (initial, initial), t
+            active.append(state)
+
+    while active:
+        for state in active:
+            state.improving = False
+        for dim in (0, 1):
+            proposals: list[tuple[_ClimbState, tuple[int, int]]] = []
+            for state in active:
+                candidate = list(state.best_u)
+                candidate[dim] = min(state.max_factor, candidate[dim] + 1)
+                cand = (candidate[0], candidate[1])
+                if cand != state.best_u:
+                    proposals.append((state, cand))
+            if not proposals:
+                continue
+            times = _batch_times(context, [(s.spec, u) for s, u in proposals])
+            for (state, cand), t in zip(proposals, times):
+                state.trace.append((*cand, t))
+                if t < state.best_t:
+                    state.best_u, state.best_t = cand, t
+                    state.improving = True
+        active = [s for s in active if s.improving]
+
+    return [
+        TuneResult(
+            ux=s.best_u[0],
+            uy=s.best_u[1],
+            time_ms=s.best_t,
+            baseline_ms=s.baseline,
+            evaluations=tuple(s.trace),
+        )
+        for s in states
+    ]
+
+
 def autotune_pooling_many(
     device: DeviceSpec,
     specs: Sequence[PoolSpec],
@@ -127,4 +223,8 @@ def autotune_pooling_many(
     """
     ctx = context or default_context(device)
     tasks = [(spec, max_factor, initial) for spec in specs]
+    if batched_eval_enabled():
+        chunks = chunk_items(tasks, resolve_jobs(jobs))
+        nested = parallel_map(_tune_chunk, chunks, ctx, jobs=jobs)
+        return [r for chunk in nested for r in chunk]
     return parallel_map(_tune_task, tasks, ctx, jobs=jobs)

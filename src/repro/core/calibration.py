@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..gpusim.batch import batched_eval_enabled, evaluate_models
 from ..gpusim.device import DeviceSpec
-from ..gpusim.parallel import parallel_map
+from ..gpusim.parallel import chunk_items, parallel_map, resolve_jobs
 from ..gpusim.session import SimulationContext, default_context
 from ..obs.tracer import span as obs_span
 from ..layers.base import ConvSpec
@@ -65,6 +66,38 @@ def _time_both(context: SimulationContext, spec: ConvSpec) -> tuple[float, float
     return chwn, nchw
 
 
+def _time_both_chunk(
+    context: SimulationContext, specs: list[ConvSpec]
+) -> list[tuple[float, float]]:
+    """Batched ``_time_both``: both layouts of every sweep point in one
+    vectorized evaluation (calibration points never fail, so any in-slot
+    exception is a real error and re-raises)."""
+    models = []
+    for spec in specs:
+        models.append(make_conv_kernel(spec, "direct"))
+        models.append(make_conv_kernel(spec, "im2col"))
+    outcomes = evaluate_models(context, models, check_memory=False)
+    times: list[tuple[float, float]] = []
+    for i in range(len(specs)):
+        chwn, nchw = outcomes[2 * i], outcomes[2 * i + 1]
+        if isinstance(chwn, Exception):
+            raise chwn
+        if isinstance(nchw, Exception):
+            raise nchw
+        times.append((chwn.time_ms, nchw.time_ms))
+    return times
+
+
+def _sweep_times(
+    ctx: SimulationContext, specs: list[ConvSpec], jobs: int | None
+) -> list[tuple[float, float]]:
+    if batched_eval_enabled():
+        chunks = chunk_items(specs, resolve_jobs(jobs))
+        nested = parallel_map(_time_both_chunk, chunks, ctx, jobs=jobs)
+        return [t for chunk in nested for t in chunk]
+    return parallel_map(_time_both, specs, ctx, jobs=jobs)
+
+
 def calibrate(
     device: DeviceSpec,
     reference: ConvSpec = REFERENCE_SHAPE,
@@ -91,8 +124,8 @@ def calibrate(
     with obs_span(
         "calibrate:n-sweep", "calibrate", device=device.name, points=len(n_sorted)
     ):
-        n_times = parallel_map(
-            _time_both, [replace(reference, n=n) for n in n_sorted], ctx, jobs=jobs
+        n_times = _sweep_times(
+            ctx, [replace(reference, n=n) for n in n_sorted], jobs
         )
     n_points = [
         SweepPoint(n, chwn, nchw) for n, (chwn, nchw) in zip(n_sorted, n_times)
@@ -105,11 +138,8 @@ def calibrate(
     with obs_span(
         "calibrate:c-sweep", "calibrate", device=device.name, points=len(c_sorted)
     ):
-        c_times = parallel_map(
-            _time_both,
-            [replace(reference, ci=c, n=c_batch) for c in c_sorted],
-            ctx,
-            jobs=jobs,
+        c_times = _sweep_times(
+            ctx, [replace(reference, ci=c, n=c_batch) for c in c_sorted], jobs
         )
     c_points = [
         SweepPoint(c, chwn, nchw) for c, (chwn, nchw) in zip(c_sorted, c_times)

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field, replace
 from math import prod
 from typing import Callable, Sequence
 
+from ..gpusim.batch import batched_eval_enabled, evaluate_models
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import SimulationEngine
 from ..gpusim.session import SimulationContext, default_context
@@ -51,7 +52,7 @@ from ..layers.elementwise import ElementwiseKernel, LRNSpec, make_lrn_kernel
 from ..layers.fc import make_fc_kernel
 from ..tensors.layout import CHWN, NCHW, DataLayout
 from ..tensors.tensor import TensorDesc
-from ..tensors.transform_kernels import transform_time_ms
+from ..tensors.transform_kernels import make_transform_kernel, transform_time_ms
 from .heuristic import (
     LayoutThresholds,
     preferred_conv_layout,
@@ -74,6 +75,7 @@ __all__ = [
     "PassTrace",
     "PipelineOptions",
     "PipelineResult",
+    "TransformCostTable",
     "default_passes",
     "graph_to_plan",
     "plan_network",
@@ -114,6 +116,9 @@ class PassContext:
     options: PipelineOptions
     engine: SimulationEngine
     costs: dict[str, _LayerCosts] = field(default_factory=dict)
+    #: batched per-edge transform costs (populated by ``AssignLayouts``
+    #: when batched evaluation is enabled; ``None`` → scalar queries)
+    edge_costs: "TransformCostTable | None" = None
 
 
 @dataclass(frozen=True)
@@ -244,6 +249,25 @@ def _attr_safe(value: object) -> object:
 # shared helpers
 
 
+def _edge_desc(
+    producer: GraphNode | None,
+    consumer: GraphNode,
+    src: DataLayout,
+    dst: DataLayout,
+) -> tuple[tuple[int, ...], DataLayout, DataLayout] | None:
+    """The (dims, src, dst) a transform on this edge would move, or ``None``
+    when the edge is free (same layout, classifier consumer, unknown dims)."""
+    if src == dst or consumer.kind is NodeKind.CLASSIFIER:
+        return None
+    if producer is not None and len(consumer.inputs) > 1:
+        dims = producer.out_dims
+    else:
+        dims = consumer.in_dims
+    if dims is None:
+        return None
+    return dims, src, dst
+
+
 def edge_transform_ms(
     device: DeviceSpec,
     producer: GraphNode | None,
@@ -251,23 +275,107 @@ def edge_transform_ms(
     src: DataLayout,
     dst: DataLayout,
 ) -> float:
-    """Transform cost on one producer→consumer edge.
+    """Transform cost on one producer→consumer edge (scalar reference).
 
     Generalizes the legacy per-node ``_transform_ms``: on single-input
     consumers the transformed tensor is the consumer's input (bit-identical
     to the legacy accounting); on multi-input consumers (concat) it is the
     individual producer's output, not the joined tensor.
     """
-    if src == dst or consumer.kind is NodeKind.CLASSIFIER:
+    desc = _edge_desc(producer, consumer, src, dst)
+    if desc is None:
         return 0.0
-    if producer is not None and len(consumer.inputs) > 1:
-        dims = producer.out_dims
-    else:
-        dims = consumer.in_dims
-    if dims is None:
-        return 0.0
-    desc = TensorDesc(*dims, layout=src)
-    return transform_time_ms(device, desc, dst, method="auto")
+    dims, src, dst = desc
+    return transform_time_ms(device, TensorDesc(*dims, layout=src), dst, method="auto")
+
+
+class TransformCostTable:
+    """Batched per-edge transform costs for one planning run.
+
+    ``precompute`` enumerates every distinct (dims, src layout, dst layout)
+    transform the planner can query on a graph — edges × layouts² collapse
+    to a handful of unique tensor shapes — and prices them all in one
+    vectorized evaluation.  ``edge_ms`` is then a dict probe.  A query
+    outside the precomputed set (e.g. a pass relabeling to an exotic
+    layout) falls back to the scalar :func:`transform_time_ms` and is
+    memoized, so the table answers exactly what the scalar path would:
+    plans are byte-identical with batching on or off.
+    """
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+        self._ms: dict[tuple[tuple[int, ...], str, str], float] = {}
+
+    def precompute(
+        self, graph: Graph, layouts: tuple[DataLayout, ...]
+    ) -> int:
+        """Batch-price every transform reachable on ``graph``'s edges.
+
+        Returns the number of distinct transform kernels evaluated.
+        """
+        pending: dict[tuple[tuple[int, ...], str, str], object] = {}
+        for node in graph:
+            for src_name in node.inputs:
+                producer = graph[src_name]
+                for src in layouts:
+                    for dst in layouts:
+                        desc = _edge_desc(producer, node, src, dst)
+                        if desc is None:
+                            continue
+                        dims, src_l, dst_l = desc
+                        key = (dims, str(src_l), str(dst_l))
+                        if key in self._ms or key in pending:
+                            continue
+                        pending[key] = make_transform_kernel(
+                            TensorDesc(*dims, layout=src_l), dst_l, method="auto"
+                        )
+        if pending:
+            # The scalar path prices transforms on the device's default
+            # context; the batch does the same so cache/metrics accounting
+            # lands in the same place.
+            outcomes = evaluate_models(
+                default_context(self.device), list(pending.values()),
+                check_memory=False,
+            )
+            for key, outcome in zip(pending, outcomes):
+                if isinstance(outcome, Exception):
+                    raise outcome
+                self._ms[key] = outcome.time_ms
+        return len(pending)
+
+    def edge_ms(
+        self,
+        producer: GraphNode | None,
+        consumer: GraphNode,
+        src: DataLayout,
+        dst: DataLayout,
+    ) -> float:
+        """Memoized :func:`edge_transform_ms`."""
+        desc = _edge_desc(producer, consumer, src, dst)
+        if desc is None:
+            return 0.0
+        dims, src_l, dst_l = desc
+        key = (dims, str(src_l), str(dst_l))
+        ms = self._ms.get(key)
+        if ms is None:
+            ms = transform_time_ms(
+                self.device, TensorDesc(*dims, layout=src_l), dst_l, method="auto"
+            )
+            self._ms[key] = ms
+        return ms
+
+
+def _ctx_edge_ms(
+    ctx: PassContext,
+    producer: GraphNode | None,
+    consumer: GraphNode,
+    src: DataLayout,
+    dst: DataLayout,
+) -> float:
+    """Edge cost through the context's batched table when present."""
+    if ctx.edge_costs is not None:
+        return ctx.edge_costs.edge_ms(producer, consumer, src, dst)
+    return edge_transform_ms(ctx.device, producer, consumer, src, dst)
 
 
 def _graph_node_costs(
@@ -298,13 +406,18 @@ def _consumers_map(graph: Graph) -> dict[str, list[GraphNode]]:
     return consumers
 
 
-def _insert_transforms(graph: Graph, device: DeviceSpec) -> tuple[int, float]:
+def _insert_transforms(
+    graph: Graph,
+    device: DeviceSpec,
+    costs: "TransformCostTable | None" = None,
+) -> tuple[int, float]:
     """(Re)materialize edge transforms from the current layout assignment.
 
     Mirrors the legacy ``_assemble`` walk: the layout "carried" past a
     CLASSIFIER node is its producer's (flattening erases the 4-D layout,
     so classifiers never update it), and a transform is only recorded when
-    its modeled cost is positive.
+    its modeled cost is positive.  ``costs`` routes edge pricing through
+    the batched :class:`TransformCostTable` when one is available.
     """
     count, total = 0, 0.0
     carried: dict[str, DataLayout | None] = {}
@@ -318,7 +431,12 @@ def _insert_transforms(graph: Graph, device: DeviceSpec) -> tuple[int, float]:
             src_layout = carried[src]
             if src_layout is None or node.layout is None:
                 continue
-            t_ms = edge_transform_ms(device, graph[src], node, src_layout, node.layout)
+            if costs is not None:
+                t_ms = costs.edge_ms(graph[src], node, src_layout, node.layout)
+            else:
+                t_ms = edge_transform_ms(
+                    device, graph[src], node, src_layout, node.layout
+                )
             if t_ms > 0:
                 transforms.append(
                     EdgeTransform(src, src_layout, node.layout, t_ms)
@@ -395,6 +513,11 @@ class AssignLayouts(Pass):
             )
             for node in graph
         }
+        if batched_eval_enabled():
+            ctx.edge_costs = TransformCostTable(ctx.device)
+            self.stats["edge_kernels_batched"] = ctx.edge_costs.precompute(
+                graph, opts.layouts
+            )
         if opts.strategy == "single":
             if opts.single_layout is None:
                 raise ValueError("strategy 'single' needs single_layout")
@@ -487,7 +610,7 @@ class AssignLayouts(Pass):
         def edge(i: int, a: DataLayout, b: DataLayout) -> float:
             node = order[i]
             producer = graph[node.inputs[0]] if node.inputs else None
-            return edge_transform_ms(ctx.device, producer, node, a, b)
+            return _ctx_edge_ms(ctx, producer, node, a, b)
 
         if opts.strategy == "heuristic":
             thresholds = opts.thresholds or thresholds_for(ctx.device)
@@ -511,7 +634,7 @@ class AssignLayouts(Pass):
         consumers = _consumers_map(graph)
 
         def edge(p: GraphNode, n: GraphNode, a: DataLayout, b: DataLayout) -> float:
-            return edge_transform_ms(ctx.device, p, n, a, b)
+            return _ctx_edge_ms(ctx, p, n, a, b)
 
         def total(assign: dict[str, DataLayout]) -> float:
             t = sum(ctx.costs[n.name].cost(assign[n.name]) for n in graph)
@@ -635,7 +758,7 @@ class InsertTransforms(Pass):
     )
 
     def run(self, graph: Graph, ctx: PassContext) -> Graph:
-        count, total = _insert_transforms(graph, ctx.device)
+        count, total = _insert_transforms(graph, ctx.device, ctx.edge_costs)
         self.stats["inserted"] = count
         self.stats["transform_ms"] = round(total, 6)
         return graph
@@ -683,15 +806,11 @@ class EliminateRedundantTransforms(Pass):
                         src_layout = graph[src].layout
                         if src_layout is None:
                             continue
-                        t += edge_transform_ms(
-                            ctx.device, graph[src], node, src_layout, layout
-                        )
+                        t += _ctx_edge_ms(ctx, graph[src], node, src_layout, layout)
                     for cons in consumers[node.name]:
                         if cons.layout is None:
                             continue
-                        t += edge_transform_ms(
-                            ctx.device, node, cons, layout, cons.layout
-                        )
+                        t += _ctx_edge_ms(ctx, node, cons, layout, cons.layout)
                     return t
 
                 current_cost = incident(node.layout)
@@ -707,7 +826,7 @@ class EliminateRedundantTransforms(Pass):
         added = 0
         if relabeled:
             old = {n.name: set(n.transforms) for n in graph}
-            _insert_transforms(graph, ctx.device)
+            _insert_transforms(graph, ctx.device, ctx.edge_costs)
             for n in graph:
                 removed += len(old[n.name] - set(n.transforms))
                 added += len(set(n.transforms) - old[n.name])

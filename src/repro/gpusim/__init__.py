@@ -8,11 +8,23 @@ terms.  Everything above it (layers, transforms, planners) expresses kernels
 as :class:`KernelModel` objects and asks :class:`SimulationEngine` for time.
 """
 
+from .batch import (
+    CandidateBatch,
+    EvalSpec,
+    batched_eval_enabled,
+    evaluate_batch,
+    evaluate_models,
+    evaluate_specs,
+    launch_invalid_mask,
+    set_batched_eval,
+)
 from .cache import (
     CacheStats,
     SetAssociativeCache,
     cache_sim_snapshot,
+    min_round_sets,
     set_fast_path,
+    set_min_round_sets,
     unique_line_hits,
 )
 from .coalescing import (
@@ -65,6 +77,7 @@ from .rowbuffer import (
     DramGeometry,
     RowBufferStats,
     analyze_row_locality,
+    reference_analyze_row_locality,
     stream_addresses,
 )
 from .sharedmem import (
@@ -87,6 +100,8 @@ __all__ = [
     "ArchProfile",
     "BankConflictReport",
     "CacheStats",
+    "CandidateBatch",
+    "EvalSpec",
     "CoalescingReport",
     "ComposedKernel",
     "DeviceSpec",
@@ -114,6 +129,7 @@ __all__ = [
     "analyze_shared_access",
     "analyze_trace",
     "analyze_warps",
+    "batched_eval_enabled",
     "cache_sim_snapshot",
     "check_launch",
     "chunk_items",
@@ -121,19 +137,27 @@ __all__ = [
     "compute_occupancy",
     "conflict_degree",
     "default_context",
+    "evaluate_batch",
+    "evaluate_models",
+    "evaluate_specs",
     "get_device",
     "global_sim_stats",
     "kernel_report",
     "latency_hiding_factor",
+    "launch_invalid_mask",
     "list_devices",
     "memory_service_time",
+    "min_round_sets",
     "parallel_map",
+    "reference_analyze_row_locality",
     "register_device",
     "resolve_jobs",
     "reset_default_contexts",
     "roofline_point",
     "sample_indices",
+    "set_batched_eval",
     "set_fast_path",
+    "set_min_round_sets",
     "simulate",
     "structural_key",
     "stream_addresses",

@@ -48,7 +48,9 @@ from .device import DeviceSpec
 
 #: Below this many still-active sets, set-parallel rounds stop paying for
 #: themselves (each round costs ~a dozen numpy calls) and the scalar tail
-#: wins.
+#: wins.  Purely a performance knob: the two sides of the cutoff maintain
+#: bit-identical cache state, so any value is correct (see
+#: :func:`set_min_round_sets`).
 MIN_ROUND_SETS = 24
 
 _FAST_PATH_DEFAULT = True
@@ -63,6 +65,30 @@ _SENTINEL = np.int64(np.iinfo(np.int64).min)
 #: share of simulation time per session.
 _SIM_CALLS = 0
 _SIM_WALL_S = 0.0
+
+
+def set_min_round_sets(threshold: int) -> int:
+    """Set the round→scalar-tail cutoff; returns the previous value.
+
+    ``access_stream`` switches from set-parallel rounds to the scalar
+    per-set tail once fewer than ``threshold`` sets remain active.  The
+    cutoff only trades numpy dispatch overhead against loop iterations —
+    both sides produce bit-identical cache state (asserted by
+    ``tests/gpusim/test_cache_equivalence.py``), so tuning it can never
+    change simulated results.  ``0`` disables the tail entirely;
+    a very large value replays everything through the scalar tail.
+    """
+    global MIN_ROUND_SETS
+    if threshold < 0:
+        raise ValueError("min_round_sets threshold must be >= 0")
+    previous = MIN_ROUND_SETS
+    MIN_ROUND_SETS = int(threshold)
+    return previous
+
+
+def min_round_sets() -> int:
+    """The current round→scalar-tail cutoff (see :func:`set_min_round_sets`)."""
+    return MIN_ROUND_SETS
 
 
 def set_fast_path(enabled: bool) -> bool:

@@ -106,6 +106,35 @@ def analyze_row_locality(
     return RowBufferStats(accesses=int(addr.size), hits=hits, service_cycles=cycles)
 
 
+def reference_analyze_row_locality(
+    addresses: np.ndarray, geometry: DramGeometry = DramGeometry()
+) -> RowBufferStats:
+    """Scalar per-transaction replay — the golden reference for
+    :func:`analyze_row_locality`.
+
+    Walks the stream in order keeping one open row per bank, exactly the
+    state machine the vectorized path models with a stable sort.  Kept for
+    validation: ``tests/gpusim/test_rowbuffer_equivalence.py`` asserts both
+    produce identical stats on random and adversarial streams.
+    """
+    addr = np.asarray(addresses, dtype=np.int64).ravel()
+    if addr.size and addr.min() < 0:
+        raise ValueError("addresses must be non-negative")
+    if addr.size == 0:
+        return RowBufferStats(accesses=0, hits=0, service_cycles=0)
+    banks, rows = geometry.map_address(addr)
+    open_rows: dict[int, int] = {}
+    hits = 0
+    for bank, row in zip(banks.tolist(), rows.tolist()):
+        if open_rows.get(bank) == row:
+            hits += 1
+        else:
+            open_rows[bank] = row
+    misses = addr.size - hits
+    cycles = hits * geometry.t_hit + misses * geometry.t_miss
+    return RowBufferStats(accesses=int(addr.size), hits=hits, service_cycles=cycles)
+
+
 def stream_addresses(nbytes: int, geometry: DramGeometry = DramGeometry()) -> np.ndarray:
     """A perfectly sequential transaction stream (the best case)."""
     if nbytes <= 0:

@@ -226,6 +226,26 @@ class SimStats:
         reg.counter(f"sim.kind.{kind}.misses").inc()
         reg.histogram("sim.kernel_sim_ms").observe(wall_s * 1e3)
 
+    def record_batch(
+        self,
+        kind_counts: dict[str, int],
+        wall_s: float,
+        cache_calls: int = 0,
+        cache_s: float = 0.0,
+    ) -> None:
+        """Record one batched evaluation: every candidate counts as a miss
+        (all were timed, none served from the structural cache), but the
+        wall time lands as one aggregate increment and the per-kernel
+        ``sim.kernel_sim_ms`` histogram is not observed — per-candidate
+        timing is exactly the overhead the batch path removes."""
+        reg = self.registry
+        reg.counter("sim.queries.misses").inc(sum(kind_counts.values()))
+        reg.counter("sim.wall_s").inc(wall_s)
+        reg.counter("sim.cache_model.calls").inc(cache_calls)
+        reg.counter("sim.cache_model.wall_s").inc(cache_s)
+        for kind, count in kind_counts.items():
+            reg.counter(f"sim.kind.{kind}.misses").inc(count)
+
     def merge(self, other: "SimStats") -> None:
         """Fold another session's counters into this one (for aggregation)."""
         self.registry.merge(other.registry)

@@ -20,7 +20,7 @@ from repro.gpusim import (
     transaction_stream,
     warps_from_threads,
 )
-from repro.gpusim.cache import set_fast_path
+from repro.gpusim.cache import min_round_sets, set_fast_path, set_min_round_sets
 
 
 def _state(cache: SetAssociativeCache):
@@ -215,3 +215,54 @@ class TestTransactionStream:
     def test_invalid_segment_bytes(self):
         with pytest.raises(ValueError):
             transaction_stream(np.array([0]), 0)
+
+
+class TestMinRoundSetsCutoff:
+    """``MIN_ROUND_SETS`` trades vectorized rounds against the scalar
+    tail purely for speed — any threshold must replay identically."""
+
+    def test_setter_returns_previous_and_validates(self):
+        prev = set_min_round_sets(0)
+        try:
+            assert set_min_round_sets(100) == 0
+            assert min_round_sets() == 100
+            with pytest.raises(ValueError):
+                set_min_round_sets(-1)
+            assert min_round_sets() == 100  # rejected values don't stick
+        finally:
+            set_min_round_sets(prev)
+
+    @pytest.mark.parametrize("threshold", [0, 1, 24, 10_000])
+    def test_any_cutoff_matches_reference(self, threshold):
+        rng = np.random.default_rng(7)
+        addr = rng.integers(0, 64 * 1024, size=4000) // 32 * 32
+        prev = set_min_round_sets(threshold)
+        try:
+            ref, fast = _pair(16 * 1024, 32, 4)
+            h_ref = ref.reference_access_stream(addr)
+            h_fast = fast.access_stream(addr)
+        finally:
+            set_min_round_sets(prev)
+        np.testing.assert_array_equal(h_ref, h_fast)
+        _assert_same_state(ref, fast)
+
+    def test_extremes_agree_with_each_other(self):
+        """All-vectorized (0) and all-scalar-tail (huge) replays of the
+        same trace leave byte-identical hits and state."""
+        rng = np.random.default_rng(11)
+        addr = rng.integers(0, 32 * 1024, size=3000) // 32 * 32
+        results = {}
+        for threshold in (0, 1_000_000):
+            prev = set_min_round_sets(threshold)
+            try:
+                cache = SetAssociativeCache(8 * 1024, 32, 2, fast_path=True)
+                hits = cache.access_stream(addr)
+            finally:
+                set_min_round_sets(prev)
+            results[threshold] = (hits, _state(cache))
+        h0, s0 = results[0]
+        h1, s1 = results[1_000_000]
+        np.testing.assert_array_equal(h0, h1)
+        np.testing.assert_array_equal(s0[0], s1[0])
+        np.testing.assert_array_equal(s0[1], s1[1])
+        assert s0[2:] == s1[2:]

@@ -1,0 +1,105 @@
+"""Golden equivalence for the DRAM row-buffer replay.
+
+``analyze_row_locality`` (vectorized per-bank stable-sort replay) and
+``reference_analyze_row_locality`` (the scalar per-transaction walk) must
+produce identical :class:`RowBufferStats` on any stream — random,
+adversarial, and the boundary cases (empty, single access, one bank
+hammered, alternating rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.rowbuffer import (
+    DramGeometry,
+    analyze_row_locality,
+    reference_analyze_row_locality,
+    stream_addresses,
+)
+
+
+def _assert_same(addr, geometry=DramGeometry()):
+    ref = reference_analyze_row_locality(addr, geometry)
+    fast = analyze_row_locality(addr, geometry)
+    assert ref == fast, f"\n  reference {ref}\n  vectorized {fast}"
+    return fast
+
+
+@st.composite
+def address_streams(draw):
+    geometry = DramGeometry(
+        channels=draw(st.sampled_from([1, 2, 4, 6])),
+        banks_per_channel=draw(st.sampled_from([1, 2, 8, 16])),
+        row_bytes=draw(st.sampled_from([512, 2048])),
+    )
+    n = draw(st.integers(0, 3000))
+    kind = draw(st.integers(0, 3))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    burst = geometry.burst_bytes
+    if kind == 0:  # uniform random: mostly misses
+        addr = rng.integers(0, 1 << 28, size=n) // burst * burst
+    elif kind == 1:  # sequential with random jumps
+        addr = np.cumsum(rng.choice([burst, burst, geometry.row_bytes * 37], size=n))
+    elif kind == 2:  # small working set: repeated rows
+        addr = rng.integers(0, 4, size=n) * geometry.row_bytes
+    else:  # strided (pooling-shaped column walks)
+        stride = int(rng.choice([burst, 128, geometry.row_bytes, 57 * 4]))
+        addr = (np.arange(n) * stride) % (1 << 26) // burst * burst
+    return np.asarray(addr, dtype=np.int64), geometry
+
+
+class TestRandomizedEquivalence:
+    @given(case=address_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_streams(self, case):
+        addr, geometry = case
+        _assert_same(addr, geometry)
+
+
+class TestAdversarial:
+    def test_empty_stream(self):
+        stats = _assert_same(np.empty(0, dtype=np.int64))
+        assert stats.accesses == 0 and stats.hits == 0
+
+    def test_single_access_misses(self):
+        stats = _assert_same(np.array([0], dtype=np.int64))
+        assert (stats.accesses, stats.hits) == (1, 0)
+
+    def test_sequential_stream(self):
+        stats = _assert_same(stream_addresses(1 << 20))
+        assert stats.hit_rate > 0.9
+
+    def test_one_bank_alternating_rows(self):
+        """Two rows of the same bank ping-ponging: every access misses."""
+        g = DramGeometry(channels=1, banks_per_channel=1)
+        addr = np.tile([0, g.row_bytes], 500).astype(np.int64)
+        stats = _assert_same(addr, g)
+        assert stats.hits == 0
+
+    def test_one_bank_same_row_hammer(self):
+        g = DramGeometry(channels=1, banks_per_channel=1)
+        addr = np.zeros(1000, dtype=np.int64)
+        stats = _assert_same(addr, g)
+        assert stats.hits == 999
+
+    def test_interleaved_bank_streams(self):
+        """Sequential per-bank streams interleaved globally: the stable
+        sort must keep each bank's order."""
+        g = DramGeometry(channels=2, banks_per_channel=2)
+        per_bank = [
+            stream_addresses(1 << 14, g) * 4 + b * g.burst_bytes for b in range(4)
+        ]
+        addr = np.stack(per_bank, axis=1).ravel()
+        _assert_same(addr, g)
+
+    def test_negative_addresses_rejected_by_both(self):
+        addr = np.array([-32], dtype=np.int64)
+        with pytest.raises(ValueError):
+            reference_analyze_row_locality(addr)
+        with pytest.raises(ValueError):
+            analyze_row_locality(addr)

@@ -1,0 +1,110 @@
+"""Batched evaluation is invisible to its consumers.
+
+Every hot consumer threaded through ``evaluate_models`` — the layer
+sweeps, device calibration, the pooling autotuner, and the layout
+pipeline's transform pricing — must produce byte-identical results with
+batching on and off, serial and with worker fan-out.  These tests pin the
+contract the ``bench_planner_perf`` CI gate also enforces end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import sweep_conv, sweep_pool
+from repro.core.autotune import autotune_pooling_many
+from repro.core.calibration import calibrate
+from repro.core.pipeline import PipelineOptions, plan_network
+from repro.gpusim import TITAN_BLACK, TITAN_X, default_context
+from repro.gpusim.batch import set_batched_eval
+from repro.layers.base import PoolSpec
+from repro.networks import CONV_LAYERS, build_network
+
+
+@pytest.fixture(params=[False, True], ids=["scalar", "batched"])
+def batching(request):
+    prev = set_batched_eval(request.param)
+    yield request.param
+    set_batched_eval(prev)
+
+
+def _with_batching(enabled, fn):
+    prev = set_batched_eval(enabled)
+    try:
+        return fn()
+    finally:
+        set_batched_eval(prev)
+
+
+POOL_SPECS = [
+    PoolSpec(n=64, c=c, h=27, w=27, window=3, stride=2) for c in (16, 64, 128)
+]
+
+
+class TestSweepIdentity:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_conv_sweep(self, jobs):
+        base = CONV_LAYERS["CV3"]
+        run = lambda: sweep_conv(  # noqa: E731
+            TITAN_BLACK, base, "n", (1, 16, 64, 256), jobs=jobs
+        )
+        assert _with_batching(False, run) == _with_batching(True, run)
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_pool_sweep(self, jobs):
+        run = lambda: sweep_pool(  # noqa: E731
+            TITAN_X, POOL_SPECS[0], "c", (8, 32, 96), jobs=jobs
+        )
+        assert _with_batching(False, run) == _with_batching(True, run)
+
+
+class TestCalibrationIdentity:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_calibrate(self, jobs):
+        run = lambda: calibrate(TITAN_BLACK, jobs=jobs)  # noqa: E731
+        ref, out = _with_batching(False, run), _with_batching(True, run)
+        # profiling_ms is summed *simulated* time, so even it must match
+        assert ref == out
+        assert ref.thresholds == out.thresholds
+
+
+class TestAutotuneIdentity:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_pooling_many(self, jobs):
+        run = lambda: autotune_pooling_many(  # noqa: E731
+            TITAN_BLACK, POOL_SPECS, jobs=jobs
+        )
+        ref, out = _with_batching(False, run), _with_batching(True, run)
+        # full trace equality: same hill-climb visits in the same order
+        assert ref == out
+
+
+class TestPipelineIdentity:
+    @pytest.mark.parametrize("network", ["alexnet", "inception"])
+    @pytest.mark.parametrize("strategy", ["heuristic", "optimal"])
+    def test_plan_identity(self, network, strategy):
+        net = build_network(network)
+        opts = PipelineOptions(strategy=strategy)
+
+        def run():
+            ctx = default_context(TITAN_BLACK)
+            return plan_network(TITAN_BLACK, net, opts, context=ctx)
+
+        ref, out = _with_batching(False, run), _with_batching(True, run)
+        # the trace carries batch-only stats; the contract is the plan
+        assert ref.plan == out.plan
+        assert ref.plan.summary() == out.plan.summary()
+        assert ref.graph == out.graph
+
+
+def test_profile_digest_reports_batches(batching, capsys):
+    """Smoke for the CLI digest source: with batching on, metrics carry
+    batch.eval counters after a consumer runs."""
+    from repro.obs.metrics import aggregate_metrics
+
+    sweep_pool(TITAN_BLACK, POOL_SPECS[0], "c", (8, 32), jobs=1)
+    metrics = aggregate_metrics()
+    batches = metrics.value("batch.eval.batches")
+    if batching:
+        assert batches
+    # scalar mode must not report batched evaluations from this sweep
