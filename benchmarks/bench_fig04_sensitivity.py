@@ -11,8 +11,9 @@ from dataclasses import replace
 from figutil import FigureTable, bench_arg_parser
 
 from repro.gpusim import SimulationContext, default_context
-from repro.gpusim.batch import batched_eval_enabled, evaluate_models
-from repro.gpusim.parallel import chunk_items, parallel_map, resolve_jobs
+from repro.gpusim.batch import batched_eval_enabled
+from repro.gpusim.exec import evaluate_cells, map_chunks
+from repro.gpusim.parallel import parallel_map
 from repro.layers import DirectConvCHWN, Im2colGemmNCHW
 from repro.networks import CONV_LAYERS
 
@@ -29,12 +30,12 @@ def _gflops_pair(context: SimulationContext, spec) -> tuple[float, float]:
 
 def _gflops_chunk(context: SimulationContext, specs) -> list[tuple[float, float]]:
     """Batched ``_gflops_pair``: both layouts of every point in one
-    vectorized evaluation."""
+    memoized vectorized evaluation."""
     models = []
     for spec in specs:
         models.append(DirectConvCHWN(spec))
         models.append(Im2colGemmNCHW(spec))
-    outcomes = evaluate_models(context, models, check_memory=False)
+    outcomes = evaluate_cells(context, models, check_memory=False)
     pairs = []
     for i in range(len(specs)):
         g_c, g_m = outcomes[2 * i], outcomes[2 * i + 1]
@@ -47,17 +48,15 @@ def _gflops_chunk(context: SimulationContext, specs) -> list[tuple[float, float]
 
 
 def _gflops_pairs(
-    ctx: SimulationContext, specs, jobs: int
+    ctx: SimulationContext, specs, jobs: int | str
 ) -> list[tuple[float, float]]:
     if batched_eval_enabled():
-        chunks = chunk_items(specs, resolve_jobs(jobs))
-        nested = parallel_map(_gflops_chunk, chunks, ctx, jobs=jobs)
-        return [p for chunk in nested for p in chunk]
+        return map_chunks(_gflops_chunk, specs, ctx, jobs=jobs)
     return parallel_map(_gflops_pair, specs, ctx, jobs=jobs)
 
 
 def build_figure(
-    device, jobs: int = 1, context: SimulationContext | None = None
+    device, jobs: int | str = 1, context: SimulationContext | None = None
 ) -> tuple[FigureTable, FigureTable]:
     ctx = context or default_context(device)
     base = CONV_LAYERS["CV7"]

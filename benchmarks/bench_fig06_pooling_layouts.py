@@ -10,8 +10,9 @@ from __future__ import annotations
 from figutil import FigureTable, bench_arg_parser, geomean
 
 from repro.gpusim import SimulationContext, default_context
-from repro.gpusim.batch import batched_eval_enabled, evaluate_models
-from repro.gpusim.parallel import chunk_items, parallel_map, resolve_jobs
+from repro.gpusim.batch import batched_eval_enabled
+from repro.gpusim.exec import evaluate_cells, map_chunks
+from repro.gpusim.parallel import parallel_map
 from repro.layers import make_pool_kernel
 from repro.networks import POOL_LAYERS
 
@@ -31,25 +32,23 @@ def _time_cell(context: SimulationContext, task) -> float:
 
 def _time_chunk(context: SimulationContext, tasks) -> list[float]:
     """Batched ``_time_cell``: every layout in the chunk priced in one
-    vectorized evaluation."""
+    memoized vectorized evaluation."""
     models = [make_pool_kernel(spec, impl) for _, spec, impl in tasks]
     times = []
-    for out in evaluate_models(context, models, check_memory=False):
+    for out in evaluate_cells(context, models, check_memory=False):
         if isinstance(out, Exception):
             raise out
         times.append(out.time_ms)
     return times
 
 
-def _cell_times(ctx: SimulationContext, tasks, jobs: int) -> list[float]:
+def _cell_times(ctx: SimulationContext, tasks, jobs: int | str) -> list[float]:
     if batched_eval_enabled():
-        chunks = chunk_items(tasks, resolve_jobs(jobs))
-        nested = parallel_map(_time_chunk, chunks, ctx, jobs=jobs)
-        return [t for chunk in nested for t in chunk]
+        return map_chunks(_time_chunk, tasks, ctx, jobs=jobs)
     return parallel_map(_time_cell, tasks, ctx, jobs=jobs)
 
 
-def build_figure(device, jobs: int = 1, context: SimulationContext | None = None) -> FigureTable:
+def build_figure(device, jobs: int | str = 1, context: SimulationContext | None = None) -> FigureTable:
     ctx = context or default_context(device)
     table = FigureTable(
         "Fig. 6: pooling layouts — normalized speed (convnet = 1.0) and "

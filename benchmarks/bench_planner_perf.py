@@ -12,11 +12,17 @@ is reported:
   clear 5x the scalar candidates/sec on the cleanest of the seven
   rounds (the ``--check`` gate);
 * **end-to-end** — the Fig. 4 sensitivity grid and the Fig. 6 pooling
-  figure built with batching off (serial scalar evaluation) vs on with
-  ``--jobs`` workers, rendered tables compared byte for byte.
+  figure built with batching off (serial scalar evaluation) vs through
+  the sweep execution engine: memoized-serial (fresh contexts), the warm
+  worker pool at ``--jobs``, and a warm shared-context rebuild (the
+  steady state of a long-lived session).  Rendered tables are compared
+  byte for byte across every mode, and the scalar/serial passes are
+  interleaved over rounds with the cleanest round reported, like the
+  micro benchmark.
 
 Emits ``BENCH_planner.json`` (CI uploads it as an artifact); with
-``--check`` the exit status is nonzero on a sub-5x micro speedup.
+``--check`` the exit status is nonzero on a sub-5x micro speedup *or* an
+end-to-end memoized-serial run slower than the scalar path.
 """
 
 from __future__ import annotations
@@ -34,6 +40,8 @@ import bench_fig06_pooling_layouts as fig06
 
 from repro.gpusim import SimulationContext, TITAN_BLACK
 from repro.gpusim.batch import evaluate_models, set_batched_eval
+from repro.gpusim.exec import shutdown_pool
+from repro.gpusim.parallel import resolve_jobs
 from repro.layers import DirectConvCHWN, Im2colGemmNCHW, make_pool_kernel
 from repro.layers.base import PoolSpec
 from repro.networks import CONV_LAYERS
@@ -43,6 +51,9 @@ MICRO_C = (3, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256)
 POOL_IMPLS = ("chwn", "nchw-linear", "nchw-rowblock")
 MICRO_REPEATS = 7
 SPEEDUP_GATE = 5.0
+E2E_REPEATS = 5
+#: memoized-serial must at least match the scalar path end to end
+E2E_GATE = 1.0
 
 
 def micro_models():
@@ -121,47 +132,93 @@ def run_micro(device) -> dict:
     }
 
 
-def _figure_renders(device, jobs: int) -> list[str]:
+def _figure_renders(
+    device,
+    jobs,
+    contexts: tuple[SimulationContext, SimulationContext] | None = None,
+) -> list[str]:
+    """Render the Fig. 4 + Fig. 6 tables; fresh contexts unless given."""
+    ctx4, ctx6 = contexts or (
+        SimulationContext(device, check_memory=False),
+        SimulationContext(device, check_memory=False),
+    )
     tables = []
-    ctx = SimulationContext(device, check_memory=False)
-    for table in fig04.build_figure(device, jobs=jobs, context=ctx):
+    for table in fig04.build_figure(device, jobs=jobs, context=ctx4):
         tables.append(table.render())
-    ctx = SimulationContext(device, check_memory=False)
-    tables.append(fig06.build_figure(device, jobs=jobs, context=ctx).render())
+    tables.append(fig06.build_figure(device, jobs=jobs, context=ctx6).render())
     return tables
 
 
-def run_end_to_end(device, jobs: int) -> dict:
-    prev = set_batched_eval(False)
-    try:
-        t0 = time.perf_counter()
-        ref_tables = _figure_renders(device, jobs=1)
-        ref_s = time.perf_counter() - t0
-    finally:
-        set_batched_eval(True)
-    try:
-        t0 = time.perf_counter()
-        serial_tables = _figure_renders(device, jobs=1)
-        serial_s = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        fast_tables = _figure_renders(device, jobs=jobs)
-        fast_s = time.perf_counter() - t0
-    finally:
-        set_batched_eval(prev)
+def run_end_to_end(device, jobs) -> dict:
+    jobs_n = resolve_jobs(jobs)
 
-    if ref_tables != serial_tables or ref_tables != fast_tables:
+    def scalar_pass():
+        prev = set_batched_eval(False)
+        try:
+            return _figure_renders(device, jobs=1)
+        finally:
+            set_batched_eval(prev)
+
+    def serial_pass():
+        return _figure_renders(device, jobs=1)
+
+    # One untimed pass per mode first: process-global warmup (lazy imports,
+    # the worker pool spawn for the --jobs mode) lands on no timed side,
+    # and the set doubles as the byte-identity check across all modes.
+    ref_tables = scalar_pass()
+    serial_tables = serial_pass()
+    pool_tables = _figure_renders(device, jobs=jobs)
+    if ref_tables != serial_tables or ref_tables != pool_tables:
         raise AssertionError("batched figures differ from the scalar reference")
+
+    # Interleave scalar/memoized-serial timed rounds and report the
+    # cleanest one: noise only ever slows a pass, so the best paired
+    # ratio is the estimate closest to the true speedup.  Every pass
+    # builds fresh contexts — neither side warms across repeats.
+    scalar_s = serial_s = float("inf")
+    rounds = []
+    for _ in range(E2E_REPEATS):
+        t0 = time.perf_counter()
+        scalar_pass()
+        round_scalar_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        serial_pass()
+        round_serial_s = time.perf_counter() - t0
+        rounds.append(round_scalar_s / round_serial_s)
+        scalar_s = min(scalar_s, round_scalar_s)
+        serial_s = min(serial_s, round_serial_s)
+    serial_speedup = max(rounds)
+
+    # Warm-pool pass (the pool itself was spawned by the untimed pass).
+    t0 = time.perf_counter()
+    _figure_renders(device, jobs=jobs)
+    pool_s = time.perf_counter() - t0
+
+    # Warm shared-context rebuild: the steady state of a long session
+    # re-sweeping shapes it has already priced — every cell a memo hit.
+    contexts = (
+        SimulationContext(device, check_memory=False),
+        SimulationContext(device, check_memory=False),
+    )
+    warm_tables = _figure_renders(device, jobs=1, contexts=contexts)
+    t0 = time.perf_counter()
+    warm_again = _figure_renders(device, jobs=1, contexts=contexts)
+    warm_s = time.perf_counter() - t0
+    if warm_tables != ref_tables or warm_again != ref_tables:
+        raise AssertionError("warm-context figures differ from the scalar reference")
 
     return {
         "figures": ["fig04_sensitivity", "fig06_pooling_layouts"],
-        "jobs": jobs,
-        "scalar_s": ref_s,
+        "jobs_requested": jobs,
+        "jobs": jobs_n,
+        "scalar_s": scalar_s,
         "batched_serial_s": serial_s,
-        "batched_s": fast_s,
-        "serial_speedup": ref_s / serial_s if serial_s else float("inf"),
-        # at --jobs > 1 the worker-process spawn cost dominates these
-        # small grids; the serial speedup is the evaluator comparison
-        "speedup": ref_s / fast_s if fast_s else float("inf"),
+        "batched_s": pool_s,
+        "warm_s": warm_s,
+        "round_serial_speedups": rounds,
+        "serial_speedup": serial_speedup,
+        "speedup": scalar_s / pool_s if pool_s else float("inf"),
+        "warm_speedup": scalar_s / warm_s if warm_s else float("inf"),
         "identical": True,
     }
 
@@ -177,7 +234,8 @@ def main(argv=None) -> int:
         "--check",
         action="store_true",
         help=f"exit nonzero if the batched micro speedup is below "
-        f"{SPEEDUP_GATE}x",
+        f"{SPEEDUP_GATE}x or the end-to-end memoized-serial build is "
+        f"slower than the scalar path (below {E2E_GATE}x)",
     )
     parser.add_argument(
         "--skip-end-to-end",
@@ -200,13 +258,17 @@ def main(argv=None) -> int:
     )
 
     if not args.skip_end_to_end:
-        results["end_to_end"] = run_end_to_end(TITAN_BLACK, max(args.jobs, 1))
+        try:
+            results["end_to_end"] = run_end_to_end(TITAN_BLACK, args.jobs)
+        finally:
+            shutdown_pool()
         e = results["end_to_end"]
         print(
             f"end-to-end ({', '.join(e['figures'])}): "
-            f"scalar {e['scalar_s']:.3f}s, batched serial "
+            f"scalar {e['scalar_s']:.3f}s, memoized serial "
             f"{e['batched_serial_s']:.3f}s ({e['serial_speedup']:.1f}x), "
-            f"batched --jobs {e['jobs']} {e['batched_s']:.3f}s, "
+            f"warm pool --jobs {e['jobs']} {e['batched_s']:.3f}s, "
+            f"warm context {e['warm_s']:.3f}s ({e['warm_speedup']:.1f}x), "
             f"tables identical"
         )
 
@@ -214,14 +276,26 @@ def main(argv=None) -> int:
         json.dump(results, fh, indent=1, sort_keys=True)
     print(f"wrote {args.output}")
 
+    failed = False
     if args.check and results["micro"]["speedup"] < SPEEDUP_GATE:
         print(
             f"CHECK FAILED: batched evaluator only "
             f"{results['micro']['speedup']:.1f}x the scalar path "
             f"(gate: {SPEEDUP_GATE}x)"
         )
-        return 1
-    return 0
+        failed = True
+    if (
+        args.check
+        and "end_to_end" in results
+        and results["end_to_end"]["serial_speedup"] < E2E_GATE
+    ):
+        print(
+            f"CHECK FAILED: end-to-end memoized-serial build only "
+            f"{results['end_to_end']['serial_speedup']:.2f}x the scalar "
+            f"path (gate: {E2E_GATE}x)"
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

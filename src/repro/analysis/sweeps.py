@@ -13,10 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any
 
-from ..gpusim.batch import batched_eval_enabled, evaluate_models
+from ..gpusim.batch import batched_eval_enabled
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import GpuOutOfMemoryError
-from ..gpusim.parallel import chunk_items, parallel_map, resolve_jobs
+from ..gpusim.exec import evaluate_cells, map_chunks
+from ..gpusim.parallel import parallel_map
 from ..gpusim.session import SimulationContext, default_context
 from ..obs.tracer import span as obs_span
 from ..layers.base import ConvSpec, PoolSpec, SoftmaxSpec
@@ -110,11 +111,13 @@ def _eval_cell(context: SimulationContext, cell: _Cell) -> SweepPoint:
 
 
 def _eval_cells(context: SimulationContext, cells: list[_Cell]) -> list[SweepPoint]:
-    """Batched path: one vectorized evaluation per chunk of cells.
+    """Batched path: one memoized, fused evaluation per chunk of cells.
 
     Kernel-construction failures (unsupported shapes) and per-candidate
     evaluation failures (OOM, launch validation) become the same failed
-    points the scalar loop produces.
+    points the scalar loop produces.  Cells whose structural key is
+    already cached skip the analytic stack entirely (see
+    :func:`repro.gpusim.exec.evaluate_cells`).
     """
     points: list[SweepPoint | None] = [None] * len(cells)
     models = []
@@ -127,7 +130,7 @@ def _eval_cells(context: SimulationContext, cells: list[_Cell]) -> list[SweepPoi
             continue
         owners.append(i)
     check_memory = cells[0].check_memory if cells else False
-    for i, outcome in zip(owners, evaluate_models(context, models, check_memory)):
+    for i, outcome in zip(owners, evaluate_cells(context, models, check_memory)):
         cell = cells[i]
         if isinstance(outcome, Exception):
             points[i] = SweepPoint(cell.value, cell.implementation, None, None)
@@ -149,7 +152,7 @@ def _run_grid(
     dimension: str,
     values: tuple[int, ...],
     implementations: tuple[str, ...],
-    jobs: int | None,
+    jobs: int | str | None,
 ) -> SweepResult:
     cells = [
         _Cell(kind, base, dimension, value, impl, check_memory)
@@ -166,11 +169,10 @@ def _run_grid(
         jobs=jobs or 1,
     ):
         if batched_eval_enabled():
-            # Chunks evaluate as batches: a serial run is one vectorized
-            # evaluation, a --jobs run gives each worker one batch.
-            chunks = chunk_items(cells, resolve_jobs(jobs))
-            point_lists = parallel_map(_eval_cells, chunks, context, jobs=jobs)
-            points = [p for chunk in point_lists for p in chunk]
+            # The execution engine memoizes repeated cells, fuses each
+            # chunk into one vectorized evaluation (the whole grid when
+            # serial), and fans chunks over the warm worker pool.
+            points = map_chunks(_eval_cells, cells, context, jobs=jobs)
         else:
             points = parallel_map(_eval_cell, cells, context, jobs=jobs)
     return SweepResult(
@@ -188,7 +190,7 @@ def sweep_conv(
     values: tuple[int, ...],
     implementations: tuple[str, ...] = ("direct", "im2col"),
     context: SimulationContext | None = None,
-    jobs: int | None = None,
+    jobs: int | str | None = None,
 ) -> SweepResult:
     """Vary one :class:`ConvSpec` field (``n``, ``ci``, ``co``, ``h``...)."""
     if not hasattr(base, dimension):
@@ -206,7 +208,7 @@ def sweep_pool(
     values: tuple[int, ...],
     implementations: tuple[str, ...] = ("chwn", "nchw-linear"),
     context: SimulationContext | None = None,
-    jobs: int | None = None,
+    jobs: int | str | None = None,
 ) -> SweepResult:
     """Vary one :class:`PoolSpec` field."""
     if not hasattr(base, dimension):
@@ -224,7 +226,7 @@ def sweep_softmax(
     values: tuple[int, ...],
     implementations: tuple[str, ...] = ("cudnn", "opt"),
     context: SimulationContext | None = None,
-    jobs: int | None = None,
+    jobs: int | str | None = None,
 ) -> SweepResult:
     """Vary ``n`` or ``categories`` of a softmax layer."""
     if not hasattr(base, dimension):

@@ -82,14 +82,26 @@ def _add_device(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_jobs(value: str) -> int | str:
+    """``--jobs`` argument: an integer or the literal ``auto``."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_parse_jobs,
         default=1,
         help="worker processes for independent kernel evaluations "
-        "(1 = serial, negative = all CPUs); results are identical for any "
-        "value",
+        "(1 = serial, 'auto' or negative = all CPUs; requests beyond the "
+        "CPU count are clamped); results are identical for any value",
     )
 
 
@@ -244,7 +256,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     netdef = build_network(args.network, batch=args.batch)
     result = plan_network(
-        device, netdef, PipelineOptions(strategy=args.strategy)
+        device, netdef, PipelineOptions(strategy=args.strategy, jobs=args.jobs)
     )
     plan = result.plan
     print(
@@ -647,6 +659,7 @@ def make_parser() -> argparse.ArgumentParser:
     )
     _add_device(p)
     _add_obs(p)
+    _add_jobs(p)
     p.add_argument("network", choices=sorted(NETWORK_BUILDERS))
     p.add_argument("--batch", type=int, default=None)
     p.add_argument("--strategy", choices=("heuristic", "optimal"), default="optimal")

@@ -15,10 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..gpusim.batch import batched_eval_enabled, evaluate_models
+from ..gpusim.batch import batched_eval_enabled
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import SimulationEngine
-from ..gpusim.parallel import chunk_items, parallel_map, resolve_jobs
+from ..gpusim.exec import evaluate_cells, map_chunks
+from ..gpusim.parallel import parallel_map
 from ..gpusim.session import SimulationContext, default_context
 from ..gpusim.timing import KernelStats
 from ..layers.base import PoolSpec
@@ -128,13 +129,13 @@ class _ClimbState:
 def _batch_times(
     context: SimulationContext, requests: list[tuple[PoolSpec, tuple[int, int]]]
 ) -> list[float]:
-    """Vectorized ``_time`` over (spec, (ux, uy)) pairs."""
+    """Vectorized, memoized ``_time`` over (spec, (ux, uy)) pairs."""
     models = [
         PoolingCHWN(spec) if u == (1, 1) else PoolingCoarsenedCHWN(spec, ux=u[0], uy=u[1])
         for spec, u in requests
     ]
     times = []
-    for outcome in evaluate_models(context, models, check_memory=False):
+    for outcome in evaluate_cells(context, models, check_memory=False):
         if isinstance(outcome, Exception):
             raise outcome
         assert isinstance(outcome, KernelStats)
@@ -212,7 +213,7 @@ def autotune_pooling_many(
     max_factor: int = 8,
     initial: int = 2,
     context: SimulationContext | None = None,
-    jobs: int | None = None,
+    jobs: int | str | None = None,
 ) -> list[TuneResult]:
     """Tune several pooling layers, optionally across worker processes.
 
@@ -224,7 +225,5 @@ def autotune_pooling_many(
     ctx = context or default_context(device)
     tasks = [(spec, max_factor, initial) for spec in specs]
     if batched_eval_enabled():
-        chunks = chunk_items(tasks, resolve_jobs(jobs))
-        nested = parallel_map(_tune_chunk, chunks, ctx, jobs=jobs)
-        return [r for chunk in nested for r in chunk]
+        return map_chunks(_tune_chunk, tasks, ctx, jobs=jobs)
     return parallel_map(_tune_task, tasks, ctx, jobs=jobs)

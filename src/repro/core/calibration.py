@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from ..gpusim.batch import batched_eval_enabled, evaluate_models
+from ..gpusim.batch import batched_eval_enabled
 from ..gpusim.device import DeviceSpec
-from ..gpusim.parallel import chunk_items, parallel_map, resolve_jobs
+from ..gpusim.exec import evaluate_cells, map_chunks
+from ..gpusim.parallel import parallel_map
 from ..gpusim.session import SimulationContext, default_context
 from ..obs.tracer import span as obs_span
 from ..layers.base import ConvSpec
@@ -70,13 +71,13 @@ def _time_both_chunk(
     context: SimulationContext, specs: list[ConvSpec]
 ) -> list[tuple[float, float]]:
     """Batched ``_time_both``: both layouts of every sweep point in one
-    vectorized evaluation (calibration points never fail, so any in-slot
-    exception is a real error and re-raises)."""
+    memoized vectorized evaluation (calibration points never fail, so any
+    in-slot exception is a real error and re-raises)."""
     models = []
     for spec in specs:
         models.append(make_conv_kernel(spec, "direct"))
         models.append(make_conv_kernel(spec, "im2col"))
-    outcomes = evaluate_models(context, models, check_memory=False)
+    outcomes = evaluate_cells(context, models, check_memory=False)
     times: list[tuple[float, float]] = []
     for i in range(len(specs)):
         chwn, nchw = outcomes[2 * i], outcomes[2 * i + 1]
@@ -89,12 +90,10 @@ def _time_both_chunk(
 
 
 def _sweep_times(
-    ctx: SimulationContext, specs: list[ConvSpec], jobs: int | None
+    ctx: SimulationContext, specs: list[ConvSpec], jobs: int | str | None
 ) -> list[tuple[float, float]]:
     if batched_eval_enabled():
-        chunks = chunk_items(specs, resolve_jobs(jobs))
-        nested = parallel_map(_time_both_chunk, chunks, ctx, jobs=jobs)
-        return [t for chunk in nested for t in chunk]
+        return map_chunks(_time_both_chunk, specs, ctx, jobs=jobs)
     return parallel_map(_time_both, specs, ctx, jobs=jobs)
 
 
@@ -104,7 +103,7 @@ def calibrate(
     n_values: tuple[int, ...] = N_SWEEP,
     c_values: tuple[int, ...] = C_SWEEP,
     context: SimulationContext | None = None,
-    jobs: int | None = None,
+    jobs: int | str | None = None,
 ) -> CalibrationResult:
     """Recover (Ct, Nt) for a device from the Fig. 4 style sweeps.
 

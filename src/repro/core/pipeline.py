@@ -38,9 +38,10 @@ from dataclasses import dataclass, field, replace
 from math import prod
 from typing import Callable, Sequence
 
-from ..gpusim.batch import batched_eval_enabled, evaluate_models
+from ..gpusim.batch import batched_eval_enabled
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import SimulationEngine
+from ..gpusim.exec import evaluate_cells, map_chunks
 from ..gpusim.session import SimulationContext, default_context
 from ..obs.metrics import global_registry
 from ..obs.tracer import active_tracer
@@ -101,6 +102,9 @@ class PipelineOptions:
     #: offending pass.  Verification is observational: the planned result
     #: is byte-identical with it on or off.
     verify: bool = False
+    #: worker processes for the batched transform-cost precompute
+    #: (``"auto"`` = one per CPU); plans are identical for any value
+    jobs: int | str | None = None
 
     def strategy_name(self) -> str:
         if self.strategy == "single":
@@ -289,6 +293,13 @@ def edge_transform_ms(
     return transform_time_ms(device, TensorDesc(*dims, layout=src), dst, method="auto")
 
 
+def _price_transform_chunk(
+    context: SimulationContext, models: list
+) -> "list":
+    """Module-level (picklable) chunk body for the transform precompute."""
+    return evaluate_cells(context, models, check_memory=False)
+
+
 class TransformCostTable:
     """Batched per-edge transform costs for one planning run.
 
@@ -307,7 +318,10 @@ class TransformCostTable:
         self._ms: dict[tuple[tuple[int, ...], str, str], float] = {}
 
     def precompute(
-        self, graph: Graph, layouts: tuple[DataLayout, ...]
+        self,
+        graph: Graph,
+        layouts: tuple[DataLayout, ...],
+        jobs: int | str | None = None,
     ) -> int:
         """Batch-price every transform reachable on ``graph``'s edges.
 
@@ -331,11 +345,14 @@ class TransformCostTable:
                         )
         if pending:
             # The scalar path prices transforms on the device's default
-            # context; the batch does the same so cache/metrics accounting
-            # lands in the same place.
-            outcomes = evaluate_models(
-                default_context(self.device), list(pending.values()),
-                check_memory=False,
+            # context; the memoized batch does the same so cache/metrics
+            # accounting lands in the same place — and repeat plannings of
+            # the same shapes skip the analytic stack entirely.
+            outcomes = map_chunks(
+                _price_transform_chunk,
+                list(pending.values()),
+                default_context(self.device),
+                jobs=jobs,
             )
             for key, outcome in zip(pending, outcomes):
                 if isinstance(outcome, Exception):
@@ -516,7 +533,7 @@ class AssignLayouts(Pass):
         if batched_eval_enabled():
             ctx.edge_costs = TransformCostTable(ctx.device)
             self.stats["edge_kernels_batched"] = ctx.edge_costs.precompute(
-                graph, opts.layouts
+                graph, opts.layouts, jobs=opts.jobs
             )
         if opts.strategy == "single":
             if opts.single_layout is None:

@@ -49,6 +49,13 @@ from .engine import (
     SimulationEngine,
     simulate,
 )
+from .exec import (
+    adaptive_chunk_size,
+    evaluate_cells,
+    map_chunks,
+    pool_workers,
+    shutdown_pool,
+)
 from .session import (
     SimStats,
     SimulationContext,
@@ -128,6 +135,7 @@ __all__ = [
     "analyze_row_locality",
     "analyze_shared_access",
     "analyze_trace",
+    "adaptive_chunk_size",
     "analyze_warps",
     "batched_eval_enabled",
     "cache_sim_snapshot",
@@ -138,6 +146,7 @@ __all__ = [
     "conflict_degree",
     "default_context",
     "evaluate_batch",
+    "evaluate_cells",
     "evaluate_models",
     "evaluate_specs",
     "get_device",
@@ -146,9 +155,11 @@ __all__ = [
     "latency_hiding_factor",
     "launch_invalid_mask",
     "list_devices",
+    "map_chunks",
     "memory_service_time",
     "min_round_sets",
     "parallel_map",
+    "pool_workers",
     "reference_analyze_row_locality",
     "register_device",
     "resolve_jobs",
@@ -158,6 +169,7 @@ __all__ = [
     "set_batched_eval",
     "set_fast_path",
     "set_min_round_sets",
+    "shutdown_pool",
     "simulate",
     "structural_key",
     "stream_addresses",

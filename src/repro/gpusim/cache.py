@@ -104,6 +104,13 @@ def set_fast_path(enabled: bool) -> bool:
     return previous
 
 
+def fast_path_enabled() -> bool:
+    """The current default ``access_stream`` implementation choice (the
+    warm worker pool ships this to reused workers, whose forked module
+    state may predate a toggle flip in the parent)."""
+    return _FAST_PATH_DEFAULT
+
+
 def cache_sim_snapshot() -> tuple[int, float]:
     """(replay calls, wall seconds) accumulated by all caches so far."""
     return _SIM_CALLS, _SIM_WALL_S

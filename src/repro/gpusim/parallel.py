@@ -62,26 +62,60 @@ ChunkResult = tuple[
 ]
 
 
-def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``--jobs`` value: None/0/1 mean serial, negative means
-    one worker per available CPU."""
-    if jobs is None or jobs == 0:
+#: Smallest default chunk: a worker process costs a fork plus a result
+#: pickle round-trip, so shipping it fewer items than this loses to just
+#: evaluating them in an existing chunk (singleton chunks on small grids
+#: were pure IPC overhead).
+DEFAULT_MIN_CHUNK = 4
+
+
+def resolve_jobs(jobs: int | str | None) -> int:
+    """Normalize a ``--jobs`` value: None/0/1 mean serial, ``"auto"`` and
+    negative values mean one worker per available CPU.
+
+    Requests beyond ``os.cpu_count()`` clamp to the CPU count — the
+    simulation is pure CPU work, so oversubscribing only adds process
+    spawn and scheduling overhead (the shipped ``BENCH_planner.json`` once
+    ran ``--jobs 4`` on a 1-CPU box and *lost* 35% end to end).  A clamp
+    bumps the ``exec.jobs.clamped`` counter so ``--metrics`` surfaces it.
+    """
+    cpus = os.cpu_count() or 1
+    if jobs is None:
+        return 1
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            return cpus
+        jobs = int(jobs)
+    if jobs == 0:
         return 1
     if jobs < 0:
-        return os.cpu_count() or 1
+        return cpus
+    if jobs > cpus:
+        global_registry().counter("exec.jobs.clamped").inc()
+        return cpus
     return jobs
 
 
 def chunk_items(items: Sequence[T], jobs: int, chunk_size: int | None = None) -> list[list[T]]:
     """Split ``items`` into contiguous chunks, at most ``jobs`` of them by
     default (one per worker, so each worker context serves a maximal share
-    of structurally-similar tasks)."""
+    of structurally-similar tasks).
+
+    The default size has a floor of :data:`DEFAULT_MIN_CHUNK`: on a grid
+    smaller than ``jobs * DEFAULT_MIN_CHUNK`` the split yields *fewer*
+    chunks than workers rather than singleton chunks, trading idle workers
+    (cheap — they were going to finish instantly anyway) for fewer
+    fork/pickle round-trips (the actual cost on small grids).
+    """
     n = len(items)
     if n == 0:
         return []
-    size = chunk_size if chunk_size is not None else ceil(n / max(1, jobs))
-    if size <= 0:
-        raise ValueError("chunk_size must be positive")
+    if chunk_size is not None:
+        size = chunk_size
+        if size <= 0:
+            raise ValueError("chunk_size must be positive")
+    else:
+        size = max(ceil(n / max(1, jobs)), min(n, DEFAULT_MIN_CHUNK))
     return [list(items[i : i + size]) for i in range(0, n, size)]
 
 

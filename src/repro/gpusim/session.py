@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
 from hashlib import sha256
+from itertools import islice
 from pathlib import Path
 from typing import Any
 
@@ -328,6 +329,11 @@ class SimulationContext:
         self.stats = SimStats(self.metrics)
         self.cache_path = Path(cache_path) if cache_path is not None else None
         self._cache: dict[str, KernelStats] = {}
+        #: failed evaluations (OOM, launch validation) memoized by the
+        #: sweep execution engine under the same structural keys; kept
+        #: process-local — exception instances with required constructor
+        #: args don't survive pickling, and re-deriving a failure is cheap
+        self.exec_errors: dict[str, Exception] = {}
         if self.cache_path is not None and self.cache_path.exists():
             self.load_cache(self.cache_path)
 
@@ -469,6 +475,23 @@ class SimulationContext:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self.exec_errors.clear()
+
+    def cache_lookup(self, key: str) -> "KernelStats | None":
+        """The cached stats under a :func:`structural_key`, if any (the
+        sweep execution engine consults this before batch assembly)."""
+        return self._cache.get(key)
+
+    def cache_store(self, key: str, stats: KernelStats) -> None:
+        """Insert a batch-computed timing under its structural key.
+
+        First write wins, mirroring :meth:`absorb`: the batched evaluator
+        is bit-identical to the scalar path by contract, so an existing
+        entry already holds the same value.
+        """
+        if key not in self._cache:
+            self._cache[key] = stats
+            self.metrics.gauge("sim.cache.entries").set(len(self._cache))
 
     def export_state(self) -> tuple[dict[str, KernelStats], SimStats]:
         """(timing-cache entries, counters) — what a worker ships back.
@@ -478,6 +501,19 @@ class SimulationContext:
         into the parent with :meth:`absorb`.
         """
         return dict(self._cache), self.stats
+
+    def export_delta(self, since: int = 0) -> dict[str, KernelStats]:
+        """Timing-cache entries added after the first ``since`` insertions.
+
+        The warm worker pool keeps one context alive across submissions and
+        must not re-ship the whole cache every time; dict insertion order is
+        stable and workers never :meth:`absorb` (only the parent does), so a
+        plain insertion-count watermark identifies exactly the entries the
+        parent has not seen yet.
+        """
+        if since <= 0:
+            return dict(self._cache)
+        return dict(islice(self._cache.items(), since, None))
 
     def absorb(
         self, cache: dict[str, KernelStats], stats: SimStats | None = None

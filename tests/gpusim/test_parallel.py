@@ -23,17 +23,41 @@ from repro.gpusim import (
     chunk_items,
     parallel_map,
     resolve_jobs,
+    shutdown_pool,
 )
+from repro.gpusim.parallel import DEFAULT_MIN_CHUNK
 from repro.layers import make_pool_kernel
+from repro.obs.metrics import global_registry
 
 
 class TestResolveJobs:
+    @pytest.fixture(autouse=True)
+    def _eight_cpus(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+
     @pytest.mark.parametrize("jobs,expected", [(None, 1), (0, 1), (1, 1), (3, 3)])
     def test_explicit(self, jobs, expected):
         assert resolve_jobs(jobs) == expected
 
     def test_negative_means_all_cpus(self):
-        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+        assert resolve_jobs(-1) == 8
+
+    def test_auto_means_all_cpus(self):
+        assert resolve_jobs("auto") == 8
+        assert resolve_jobs(" AUTO ") == 8
+
+    def test_numeric_strings_accepted(self):
+        assert resolve_jobs("3") == 3
+
+    def test_oversubscription_clamps_and_warns(self):
+        before = global_registry().value("exec.jobs.clamped") or 0
+        assert resolve_jobs(64) == 8
+        assert global_registry().value("exec.jobs.clamped") == before + 1
+
+    def test_cpu_count_request_not_clamped(self):
+        before = global_registry().value("exec.jobs.clamped") or 0
+        assert resolve_jobs(8) == 8
+        assert (global_registry().value("exec.jobs.clamped") or 0) == before
 
 
 class TestChunkItems:
@@ -52,6 +76,19 @@ class TestChunkItems:
         with pytest.raises(ValueError):
             chunk_items([1], 1, chunk_size=0)
 
+    def test_small_grid_never_splits_into_singletons(self):
+        # 6 items over 6 workers used to produce six singleton chunks —
+        # pure IPC overhead; the floor keeps chunks at DEFAULT_MIN_CHUNK.
+        chunks = chunk_items(list(range(6)), 6)
+        assert all(
+            len(c) >= min(DEFAULT_MIN_CHUNK, 6) or c is chunks[-1] for c in chunks
+        )
+        assert [x for c in chunks for x in c] == list(range(6))
+        assert len(chunks) == 2
+
+    def test_grid_smaller_than_floor_is_one_chunk(self):
+        assert chunk_items([1, 2], 8) == [[1, 2]]
+
 
 def _double(context, item):
     return item * 2
@@ -62,6 +99,12 @@ def _time_pool_chwn(context, spec):
 
 
 class TestParallelMap:
+    @pytest.fixture(autouse=True)
+    def _four_cpus(self, monkeypatch):
+        # These tests exercise real worker fan-out; a 1-CPU CI box would
+        # clamp everything to serial, so pretend the box is wider.
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+
     def test_order_preserved_across_chunks(self, device):
         ctx = SimulationContext(device, check_memory=False)
         out = parallel_map(_double, list(range(11)), ctx, jobs=3, chunk_size=2)
@@ -76,7 +119,7 @@ class TestParallelMap:
     def test_worker_caches_merge_back(self, device, small_pool):
         specs = [replace(small_pool, c=c) for c in (4, 8, 16, 32)]
         ctx = SimulationContext(device, check_memory=False)
-        times = parallel_map(_time_pool_chwn, specs, ctx, jobs=2)
+        times = parallel_map(_time_pool_chwn, specs, ctx, jobs=2, chunk_size=2)
         assert len(times) == 4
         # Two chunks -> two worker contexts absorbed, four new entries.
         assert ctx.stats.merged_contexts == 2
@@ -91,6 +134,12 @@ class TestParallelMap:
 
 class TestJobsDeterminism:
     """jobs=N output equals jobs=1, value-for-value and byte-for-byte."""
+
+    @pytest.fixture(autouse=True)
+    def _four_cpus(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        yield
+        shutdown_pool()
 
     def test_sweep_pool(self, device, small_pool):
         serial = sweep_pool(

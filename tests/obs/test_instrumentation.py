@@ -133,22 +133,32 @@ class TestCoverage:
         assert replays
         assert all("accesses" in s.attrs for s in replays)
 
-    def test_parallel_workers_ship_spans_home(self, device, small_pool):
+    def test_parallel_workers_ship_spans_home(self, device, small_pool, monkeypatch):
+        import os
+
+        from repro.gpusim import shutdown_pool
+
+        # A 1-CPU box would clamp --jobs to serial; pretend it is wider,
+        # and sweep enough cells that the grid splits into several chunks
+        # (the chunk floor keeps tiny grids serial on purpose).
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+
         def run():
             return sweep_pool(
-                device, small_pool, "c", (4, 8, 16),
+                device, small_pool, "c", (4, 6, 8, 10, 12, 16, 24, 32),
                 context=SimulationContext(device, check_memory=False), jobs=4,
             )
 
-        _, tracer = _traced(run)
-        import os
-
+        try:
+            _, tracer = _traced(run)
+        finally:
+            shutdown_pool()
         pids = {s.pid for s in tracer.spans()}
         assert len(pids) > 1, "worker spans should carry worker pids"
         chunk_spans = [s for s in tracer.spans() if s.name == "chunk"]
         assert chunk_spans and all(s.pid != os.getpid() for s in chunk_spans)
         merges = [e for e in tracer.events() if e.name == "worker-merge"]
-        assert len(merges) == len({s.pid for s in chunk_spans} | set())  # one per chunk
+        assert len(merges) == len(chunk_spans)  # one merge per shipped chunk
 
     def test_worker_metrics_merge_into_global(self, device, small_pool):
         def run():
